@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast bench check reproduce reproduce-quick clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+check:
+	$(PYTHON) -m repro paper-check
+	$(PYTHON) -m repro selfcheck
+
+# Full paper-scale regeneration of every figure and table (~25 min).
+reproduce:
+	$(PYTHON) -m repro run all --out full_results.txt --export-dir results/
+
+reproduce-quick:
+	$(PYTHON) -m repro run all --quick --out quick_results.txt
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

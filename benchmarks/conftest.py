@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (figure or in-text table)
+at ``BENCH_SCALE`` -- reduced run length and trial count so the whole
+suite finishes in minutes while preserving the qualitative shape (who
+wins, by roughly what factor, where curves flatten).  For full
+paper-scale output use the CLI: ``python -m repro run all``.
+"""
+
+import pytest
+
+from repro.experiments.config import Scale
+
+#: Scale used by every experiment benchmark.
+BENCH_SCALE = Scale(trials=2, blocks_per_run=150, sweep_density=0.34)
+
+
+@pytest.fixture
+def bench_scale() -> Scale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    These are multi-second simulation sweeps; statistical repetition
+    belongs to the simulations' internal trials, not the timer.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

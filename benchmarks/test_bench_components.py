@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the library's building blocks.
+
+Unlike the experiment benchmarks these use pytest-benchmark's normal
+repeated timing, giving throughput numbers for the kernel, the loser
+tree, the drive model, and a full simulation trial.
+"""
+
+import random
+
+from repro.core.merge_sim import MergeTrial
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.mergesort.records import make_records
+from repro.mergesort.tournament import LoserTree
+from repro.sim import Simulator
+from repro.workloads.depletion import random_depletion_sequence
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained timeouts."""
+
+    def run():
+        sim = Simulator()
+
+        def body():
+            for _ in range(10_000):
+                yield sim.timeout(1.0)
+
+        sim.process(body())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 10_000.0
+
+
+def test_loser_tree_merge_rate(benchmark):
+    rng = random.Random(1)
+    sources = [
+        sorted(make_records(rng.randrange(1_000_000) for _ in range(1000)))
+        for _ in range(32)
+    ]
+
+    def run():
+        return sum(1 for _ in LoserTree(sources))
+
+    assert benchmark(run) == 32_000
+
+
+def test_depletion_sequence_rate(benchmark):
+    def run():
+        return sum(1 for _ in random_depletion_sequence(50, 1000, seed=3))
+
+    assert benchmark(run) == 50_000
+
+
+def test_file_sort_throughput(benchmark, tmp_path):
+    """Records/second through the full file-sort pipeline."""
+    from repro.io.filesort import FileSorter, write_random_input
+
+    input_path = tmp_path / "input.blk"
+    write_random_input(input_path, 20_000, seed=4)
+    sorter = FileSorter(
+        memory_records=2048,
+        temp_dirs=[tmp_path / "d0", tmp_path / "d1"],
+    )
+    counter = iter(range(1_000_000))
+
+    def run():
+        output = tmp_path / f"out-{next(counter)}.blk"
+        return sorter.sort_file(input_path, output).records
+
+    assert benchmark(run) == 20_000
+
+
+def test_merge_trial_no_prefetch(benchmark):
+    config = SimulationConfig(
+        num_runs=10, num_disks=2, strategy=PrefetchStrategy.NONE,
+        blocks_per_run=200, trials=1,
+    )
+
+    def run():
+        return MergeTrial(config, seed=1).run().blocks_depleted
+
+    assert benchmark(run) == 2000
+
+
+def test_merge_trial_inter_run(benchmark):
+    config = SimulationConfig(
+        num_runs=10, num_disks=5, strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10, blocks_per_run=200, trials=1,
+    )
+
+    def run():
+        return MergeTrial(config, seed=1).run().blocks_depleted
+
+    assert benchmark(run) == 2000

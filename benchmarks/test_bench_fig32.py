@@ -1,0 +1,60 @@
+"""Benchmarks regenerating Figure 3.2 (total time vs N).
+
+Shape assertions encode the paper's qualitative claims: intra-run on
+one disk is slowest everywhere; distributing runs over disks helps even
+without prefetching overlap; inter-run prefetching dominates; all
+curves fall as N grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def _column(table, header):
+    index = table.headers.index(header)
+    return [row[index] for row in table.rows]
+
+
+def test_fig_32a(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: get_experiment("fig-3.2a").run(bench_scale))
+    table = result.tables[0]
+    intra1 = _column(table, "DemandRunOnly D=1")
+    intra5 = _column(table, "DemandRunOnly D=5")
+    inter5 = _column(table, "AllDisksOneRun D=5")
+    # Who wins: inter < intra(5) < intra(1) at every N.
+    for a, b, c in zip(inter5, intra5, intra1):
+        assert a < b < c
+    # Prefetching helps: the N=30 end is far below the N=1 end.
+    assert intra1[-1] < intra1[0] / 3
+    assert inter5[-1] < inter5[0] / 3
+
+
+def test_fig_32b(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: get_experiment("fig-3.2b").run(bench_scale))
+    table = result.tables[0]
+    intra1 = _column(table, "DemandRunOnly D=1")
+    intra10 = _column(table, "DemandRunOnly D=10")
+    inter5 = _column(table, "AllDisksOneRun D=5")
+    inter10 = _column(table, "AllDisksOneRun D=10")
+    for row in zip(inter10, inter5, intra10, intra1):
+        assert row[0] < row[2] < row[3]  # inter D=10 < intra D=10 < intra D=1
+        assert row[1] < row[3]
+    # More disks help inter-run prefetching roughly proportionally.
+    assert inter10[-1] < inter5[-1]
+
+
+def test_fig_32c(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: get_experiment("fig-3.2c").run(bench_scale))
+    table = result.tables[0]
+    inter25 = _column(table, "AllDisksOneRun k=25")
+    intra25 = _column(table, "DemandRunOnly k=25")
+    inter50 = _column(table, "AllDisksOneRun k=50")
+    intra50 = _column(table, "DemandRunOnly k=50")
+    for a, b in zip(inter25, intra25):
+        assert a < b
+    for a, b in zip(inter50, intra50):
+        assert a < b
+    # Twice the data, roughly twice the time for the same strategy.
+    for a, b in zip(inter25, inter50):
+        assert 1.4 < b / a < 2.8

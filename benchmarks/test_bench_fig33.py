@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 3.3 (effect of a finite-speed CPU)."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_fig_33(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: get_experiment("fig-3.3").run(bench_scale))
+    table = result.tables[0]
+    inter_unsync = [row[1] for row in table.rows]
+    inter_sync = [row[2] for row in table.rows]
+    intra_unsync = [row[3] for row in table.rows]
+    intra_sync = [row[4] for row in table.rows]
+
+    # Paper: inter-run N=10 beats intra-run over the whole CPU range.
+    for i_un, i_sy, d_un, d_sy in zip(
+        inter_unsync, inter_sync, intra_unsync, intra_sync
+    ):
+        assert i_un < d_un
+        assert i_sy < d_sy
+
+    # Synchronized times grow monotonically with CPU cost (no overlap).
+    assert inter_sync == sorted(inter_sync)
+    assert intra_sync == sorted(intra_sync)
+
+    # Unsynchronized absorbs CPU cost: its slope is shallower than the
+    # synchronized curve's over the swept range.
+    sync_growth = inter_sync[-1] - inter_sync[0]
+    unsync_growth = inter_unsync[-1] - inter_unsync[0]
+    assert unsync_growth <= sync_growth + 0.2

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Figures 3.5 and 3.6 (cache-size sweeps).
+
+One experiment per configuration emits both the execution-time series
+(Figure 3.5) and the success-ratio series (Figure 3.6).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def _series(table, header):
+    index = table.headers.index(header)
+    return [
+        (row[0], row[index]) for row in table.rows if row[index] != "-"
+    ]
+
+
+def _check_shape(result, k):
+    table = result.tables[0]
+    for n in (1, 5, 10):
+        times = _series(table, f"time N={n}")
+        ratios = _series(table, f"sr N={n}")
+        assert times, f"no feasible cache sizes for N={n}"
+        # Success ratio climbs toward 1 with cache size (allowing noise).
+        assert ratios[-1][1] > ratios[0][1] - 0.05
+        assert ratios[-1][1] > 0.9
+        # Execution time falls as the cache grows.
+        assert times[-1][1] < times[0][1] * 1.02
+    # At the largest cache, deeper prefetching wins (Figure 3.5's
+    # asymptote ordering).
+    final_time = {
+        n: _series(table, f"time N={n}")[-1][1] for n in (1, 5, 10)
+    }
+    assert final_time[10] < final_time[1]
+    return table
+
+
+@pytest.mark.parametrize(
+    "experiment_id,k", [("fig-3.5a", 25), ("fig-3.5b", 50), ("fig-3.5c", 50)]
+)
+def test_fig_35_36(benchmark, bench_scale, experiment_id, k):
+    result = run_once(
+        benchmark, lambda: get_experiment(experiment_id).run(bench_scale)
+    )
+    _check_shape(result, k)

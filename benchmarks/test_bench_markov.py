@@ -1,0 +1,24 @@
+"""Benchmark for the companion-TR Markov policy analysis."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_tab_markov(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: get_experiment("tab-markov").run(bench_scale))
+    table = result.tables[0]
+    for row in table.rows:
+        cache, chain_cons, chain_greedy, sim_cons, sim_greedy, t_cons, t_greedy = row
+        # Chain parallelism within [1, D] for both policies.
+        assert 1.0 <= chain_cons <= 4.0 + 1e-9
+        assert 1.0 <= chain_greedy <= 4.0 + 1e-9
+        # Timed concurrency tracks the chain within modeling error
+        # (the chain is synchronous; the simulation overlaps rounds).
+        assert sim_cons == pytest.approx(chain_cons, abs=0.6)
+        assert sim_greedy == pytest.approx(chain_greedy, abs=0.6)
+    # Policies converge at the largest swept cache.
+    last = table.rows[-1]
+    assert last[1] == pytest.approx(last[2], rel=0.05)
+    assert last[5] == pytest.approx(last[6], rel=0.1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""How merge time scales with the number of disks, per strategy.
+
+Sweeps D for a fixed workload and compares the measured speedup over
+one disk against the paper's two analytical ceilings:
+
+* intra-run prefetching: concurrency saturates at the urn-game value
+  E(L) = sqrt(pi*D/2) - 1/3 -- adding disks stops paying off;
+* inter-run prefetching: approaches the full D-fold transfer bound.
+
+Run:  python examples/disk_scaling.py
+"""
+
+from repro import PrefetchStrategy, SimulationConfig
+from repro.analysis import expected_concurrency
+from repro.core.simulator import MergeSimulation
+
+K_RUNS = 24  # divisible by every swept D
+BLOCKS_PER_RUN = 150
+DEPTH = 12
+TRIALS = 2
+DISK_COUNTS = [1, 2, 3, 4, 6, 8, 12]
+
+
+def measure(strategy: PrefetchStrategy, disks: int) -> float:
+    config = SimulationConfig(
+        num_runs=K_RUNS,
+        num_disks=disks,
+        strategy=strategy,
+        prefetch_depth=DEPTH,
+        blocks_per_run=BLOCKS_PER_RUN,
+        trials=TRIALS,
+    )
+    return MergeSimulation(config).run().total_time_s.mean
+
+
+def main() -> None:
+    print(f"k={K_RUNS} runs of {BLOCKS_PER_RUN} blocks, N={DEPTH}\n")
+    intra_base = measure(PrefetchStrategy.INTRA_RUN, 1)
+    inter_base = measure(PrefetchStrategy.INTER_RUN, 1)
+
+    print(f"{'D':>3s} {'intra (s)':>10s} {'speedup':>8s} {'urn E(L)':>9s}"
+          f" {'inter (s)':>10s} {'speedup':>8s} {'ideal':>6s}")
+    for disks in DISK_COUNTS:
+        intra = measure(PrefetchStrategy.INTRA_RUN, disks)
+        inter = measure(PrefetchStrategy.INTER_RUN, disks)
+        print(
+            f"{disks:3d} {intra:10.2f} {intra_base / intra:8.2f} "
+            f"{expected_concurrency(disks):9.2f} "
+            f"{inter:10.2f} {inter_base / inter:8.2f} {disks:6d}"
+        )
+
+    print(
+        "\nIntra-run speedup tracks the urn-game column, not D: past a few\n"
+        "disks the array idles.  Inter-run prefetching (with enough cache)\n"
+        "keeps scaling toward the ideal D-fold speedup."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sort an actual binary file with bounded memory.
+
+Exercises the file-backed stack end to end: generate a binary input
+file of 64-byte records (the paper's packing: 64 records per 4 KiB
+block), sort it with a fixed memory budget spilling temporary runs
+round-robin across two "disk" directories, verify the output, and
+report the pipeline's I/O accounting -- then compare the real merge's
+depletion trace against the paper's random model.
+
+Run:  python examples/file_sort.py
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.io.blockio import BLOCK_BYTES
+from repro.io.filesort import FileSorter, verify_sorted_file, write_random_input
+from repro.workloads.depletion import DepletionTrace, trace_statistics
+
+RECORDS = 100_000
+MEMORY_RECORDS = 8_192  # 512 KiB of 64-byte records
+DISK_DIRS = 2
+
+
+def main() -> None:
+    workspace = Path(tempfile.mkdtemp(prefix="repro-filesort-"))
+    try:
+        input_path = workspace / "input.blk"
+        output_path = workspace / "sorted.blk"
+        print(f"Generating {RECORDS} records "
+              f"({RECORDS * 64 // 1024} KiB) in {input_path} ...")
+        write_random_input(input_path, RECORDS, seed=7)
+
+        sorter = FileSorter(
+            memory_records=MEMORY_RECORDS,
+            temp_dirs=[workspace / f"disk{i}" for i in range(DISK_DIRS)],
+        )
+        start = time.perf_counter()
+        stats = sorter.sort_file(input_path, output_path)
+        elapsed = time.perf_counter() - start
+
+        count = verify_sorted_file(output_path)
+        print(f"Sorted and verified {count} records in {elapsed:.2f}s "
+              f"({count / elapsed:,.0f} records/s)\n")
+        print(f"memory budget : {MEMORY_RECORDS} records "
+              f"({MEMORY_RECORDS * 64 // 1024} KiB)")
+        print(f"runs formed   : {stats.runs} "
+              f"(spilled round-robin over {DISK_DIRS} directories)")
+        print(f"run blocks    : {stats.total_run_blocks} x {BLOCK_BYTES} B")
+        print(f"bytes read    : {stats.bytes_read:,}")
+        print(f"bytes written : {stats.bytes_written:,}")
+
+        trace = DepletionTrace.from_sequence(stats.depletion_trace, stats.runs)
+        real = trace_statistics(trace)
+        model = trace_statistics(
+            DepletionTrace.random(
+                stats.runs, stats.run_blocks[0], seed=1
+            )
+        )
+        print("\nDepletion-trace statistics (real merge vs random model):")
+        print(f"  interleave factor : {real['interleave_factor']:.3f} vs "
+              f"{model['interleave_factor']:.3f}")
+        print(f"  mean move distance: {real['mean_move_distance']:.2f} vs "
+              f"{model['mean_move_distance']:.2f}")
+        print(
+            "\nUniform keys make the real merge's block depletions look\n"
+            "like the paper's random model -- the assumption its whole\n"
+            "analysis rests on."
+        )
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design a balanced I/O subsystem for the merge phase.
+
+The paper sizes the *read* side (D input disks + cache) and assumes the
+write side is "a separate set of disks" that never bottlenecks.  This
+example closes the loop using the write-traffic extension: for a fixed
+read array it sweeps the write-array size W and shows where the output
+stream stops being the critical path -- the full design question a
+storage architect would actually ask.
+
+Run:  python examples/io_subsystem_design.py
+"""
+
+from repro import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+
+K_RUNS = 25
+READ_DISKS = 5
+DEPTH = 10
+BLOCKS_PER_RUN = 200
+TRIALS = 2
+
+
+def measure(write_disks: int):
+    config = SimulationConfig(
+        num_runs=K_RUNS,
+        num_disks=READ_DISKS,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=DEPTH,
+        blocks_per_run=BLOCKS_PER_RUN,
+        write_disks=write_disks,
+        trials=TRIALS,
+    )
+    return MergeSimulation(config).run()
+
+
+def main() -> None:
+    print(f"Read side: k={K_RUNS} runs over D={READ_DISKS} disks, "
+          f"inter-run prefetching N={DEPTH}\n")
+
+    ignored = measure(0)
+    read_bound = ignored.total_time_s.mean
+    print(f"{'write array':>12s} {'time (s)':>9s} {'stall (s)':>10s} "
+          f"{'overhead':>9s}")
+    print(f"{'(ignored)':>12s} {read_bound:9.2f} {'-':>10s} {'-':>9s}")
+
+    recommended = None
+    for write_disks in (1, 2, 3, 4, 5, 6, 8):
+        result = measure(write_disks)
+        stall = sum(m.write_stall_ms for m in result.trials) / (
+            1000.0 * len(result.trials)
+        )
+        overhead = (result.total_time_s.mean - read_bound) / read_bound
+        print(
+            f"{write_disks:>12d} {result.total_time_s.mean:9.2f} "
+            f"{stall:10.2f} {overhead:8.0%}"
+        )
+        if recommended is None and overhead < 0.15:
+            recommended = write_disks
+
+    print(
+        f"\nSmallest write array within 15% of the read-bound time: "
+        f"W = {recommended}."
+    )
+    print(
+        "The output stream moves exactly as many blocks as the input, so\n"
+        "the write array needs at least the read side's achieved aggregate\n"
+        "bandwidth -- and extra headroom when per-disk buffers are shallow,\n"
+        "because depletions arrive in bursts.  Only then does the paper's\n"
+        "ignore-writes assumption hold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Sort real records end to end, then cost the merge's I/O.
+
+Uses the record-level external mergesort -- run formation, loser-tree
+k-way merge -- on several key distributions, then feeds the *actual*
+block-depletion trace of each merge into the multi-disk I/O simulator
+and compares against the paper's random-depletion model.
+
+This is the bridge between the abstract model and a real sort: for
+independent runs (uniform keys) the random model is accurate; for
+correlated data (nearly sorted) runs deplete one after another and
+multi-disk prefetching behaves very differently.
+
+Run:  python examples/sort_real_data.py
+"""
+
+from repro import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.mergesort import ExternalMergesort, make_records
+from repro.mergesort.external import trace_driven_metrics
+from repro.workloads import generators
+
+K_RUNS = 8
+BLOCKS_PER_RUN = 100
+RECORDS_PER_BLOCK = 16
+DISKS = 4
+MEMORY_RECORDS = BLOCKS_PER_RUN * RECORDS_PER_BLOCK
+TOTAL_RECORDS = K_RUNS * MEMORY_RECORDS
+
+
+def merge_config() -> SimulationConfig:
+    return SimulationConfig(
+        num_runs=K_RUNS,
+        num_disks=DISKS,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=5,
+        cache_capacity=K_RUNS * 5 * 4,
+        blocks_per_run=BLOCKS_PER_RUN,
+        trials=2,
+    )
+
+
+def main() -> None:
+    print(f"Sorting {TOTAL_RECORDS} records ({K_RUNS} runs of "
+          f"{BLOCKS_PER_RUN} blocks) and costing the merge on "
+          f"{DISKS} disks\n")
+
+    random_model = MergeSimulation(merge_config()).run()
+    print(f"{'workload':16s} {'runs':>5s} {'passes':>7s} "
+          f"{'sim time (s)':>13s} {'vs model':>9s}")
+    print(f"{'(random model)':16s} {'-':>5s} {'-':>7s} "
+          f"{random_model.total_time_s.mean:13.3f} {'-':>9s}")
+
+    workloads = {
+        "uniform": generators.uniform_keys(TOTAL_RECORDS, seed=11),
+        "gaussian": generators.gaussian_keys(TOTAL_RECORDS, seed=12),
+        "zipf": generators.zipf_keys(TOTAL_RECORDS, seed=13),
+        "nearly-sorted": generators.nearly_sorted_keys(TOTAL_RECORDS, seed=14),
+    }
+    sorter = ExternalMergesort(
+        memory_records=MEMORY_RECORDS, records_per_block=RECORDS_PER_BLOCK
+    )
+    for name, keys in workloads.items():
+        stats = sorter.sort(make_records(keys))  # verifies correctness
+        metrics = trace_driven_metrics(stats, merge_config())
+        delta = (
+            100.0
+            * (metrics.total_time_s - random_model.total_time_s.mean)
+            / random_model.total_time_s.mean
+        )
+        print(
+            f"{name:16s} {stats.initial_runs:5d} {stats.merge_passes:7d} "
+            f"{metrics.total_time_s:13.3f} {delta:+8.1f}%"
+        )
+
+    print(
+        "\nUniform/gaussian/zipf keys give independent runs whose blocks\n"
+        "deplete in a near-random interleave -- the Kwan-Baer model the\n"
+        "paper assumes.  Nearly-sorted input drains runs sequentially:\n"
+        "prefetches for the 'wrong' runs sit in cache and the merge\n"
+        "behaves like a single-stream scan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Offline-friendly shim: lets ``python setup.py develop`` provide an
+
+editable install on machines without the ``wheel`` package (PEP 660
+editable installs via ``pip install -e .`` need it).  All metadata lives
+in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro: reproduction of Pai & Varman, "Prefetching with Multiple
+
+Disks for External Mergesort: Simulation and Analysis" (ICDE 1992).
+
+The package simulates and analyzes the merge phase of external
+mergesort with ``k`` sorted runs spread over ``D`` independent disks,
+a RAM block cache, and two prefetching strategies (intra-run and
+inter-run), reproducing every figure and in-text result of the paper.
+
+Quickstart::
+
+    from repro import simulate_merge, PrefetchStrategy
+
+    result = simulate_merge(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=10,
+        cache_capacity=800, trials=3,
+    )
+    print(f"merge took {result.total_time_s.mean:.1f}s, "
+          f"success ratio {result.success_ratio.mean:.2f}")
+
+Subpackages:
+
+* :mod:`repro.core` -- the merge-phase simulator (strategies, cache,
+  metrics, configuration).
+* :mod:`repro.sim` -- the discrete-event simulation kernel.
+* :mod:`repro.disks` -- drive geometry, run layout, service model.
+* :mod:`repro.analysis` -- the paper's closed-form models.
+* :mod:`repro.mergesort` -- a real record-level external mergesort used
+  to validate the random block-depletion model.
+* :mod:`repro.workloads` -- depletion sequences and data generators.
+* :mod:`repro.experiments` -- one registered experiment per paper
+  figure/table, plus ablations.
+"""
+
+from repro.core import (
+    Aggregate,
+    AggregateMetrics,
+    CachePolicy,
+    DiskParameters,
+    MergeMetrics,
+    MergeSimulation,
+    PrefetchStrategy,
+    SimulationConfig,
+    VictimSelector,
+    simulate_merge,
+)
+from repro.disks import DiskGeometry, RunLayout
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "AggregateMetrics",
+    "CachePolicy",
+    "DiskGeometry",
+    "DiskParameters",
+    "MergeMetrics",
+    "MergeSimulation",
+    "PrefetchStrategy",
+    "RunLayout",
+    "SimulationConfig",
+    "VictimSelector",
+    "__version__",
+    "simulate_merge",
+]

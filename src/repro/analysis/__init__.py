@@ -1,0 +1,71 @@
+"""Closed-form models from the paper's analysis sections.
+
+Each module mirrors one analytical development:
+
+* :mod:`repro.analysis.seek_model` -- the seek-distance distribution
+  under random block depletion (extends Kwan & Baer).
+* :mod:`repro.analysis.iotime` -- equations (1)-(4): average per-block
+  I/O time for {no, intra-run} prefetching on {1, D} disks.
+* :mod:`repro.analysis.urn_game` -- the urn game bounding the average
+  disk concurrency of unsynchronized intra-run prefetching.
+* :mod:`repro.analysis.interrun` -- the synchronized inter-run model
+  (expected max over D rotational latencies) and the transfer-time
+  lower bounds.
+* :mod:`repro.analysis.predictions` -- a single ``predict()`` mapping a
+  :class:`~repro.core.parameters.SimulationConfig` to the paper's
+  estimate for it.
+"""
+
+from repro.analysis.interrun import (
+    expected_max_uniform,
+    inter_run_sync_block_ms,
+    inter_run_sync_total_s,
+    lower_bound_total_s,
+)
+from repro.analysis.iotime import (
+    intra_run_multi_disk_block_ms,
+    intra_run_single_disk_block_ms,
+    no_prefetch_multi_disk_block_ms,
+    no_prefetch_single_disk_block_ms,
+    total_time_s,
+)
+from repro.analysis.calibration import Calibration, solve_constants
+from repro.analysis.passes import (
+    MergePlan,
+    estimate_sort_time_s,
+    fan_in_for_cache,
+    plan_passes,
+)
+from repro.analysis.predictions import Prediction, predict
+from repro.analysis.seek_model import SeekDistanceModel
+from repro.analysis.urn_game import (
+    expected_concurrency,
+    expected_concurrency_closed_form,
+    round_length_pmf,
+    survival_probabilities,
+)
+
+__all__ = [
+    "Calibration",
+    "MergePlan",
+    "Prediction",
+    "SeekDistanceModel",
+    "estimate_sort_time_s",
+    "fan_in_for_cache",
+    "plan_passes",
+    "solve_constants",
+    "expected_concurrency",
+    "expected_concurrency_closed_form",
+    "expected_max_uniform",
+    "inter_run_sync_block_ms",
+    "inter_run_sync_total_s",
+    "intra_run_multi_disk_block_ms",
+    "intra_run_single_disk_block_ms",
+    "lower_bound_total_s",
+    "no_prefetch_multi_disk_block_ms",
+    "no_prefetch_single_disk_block_ms",
+    "predict",
+    "round_length_pmf",
+    "survival_probabilities",
+    "total_time_s",
+]

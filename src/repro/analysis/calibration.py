@@ -1,0 +1,122 @@
+"""Recovering the paper's disk constants from its reported results.
+
+The available scan of the paper garbles most digits, so the constants
+(S, R, T) used throughout this reproduction were *solved back* from the
+numbers that survive: every no-prefetch / intra-run total is **linear**
+in (S, R, T),
+
+    total(k, D, N) = k * blocks * (m (k / 3 N D) S  +  R / N  +  T) / 1000,
+
+so a handful of anchors gives an (over-determined) linear system.  This
+module encodes those anchors and solves the least-squares system with
+plain Gaussian elimination, demonstrating that the calibration in
+``repro.core.parameters`` is not guesswork: the recovered constants are
+S = 0.03 ms/cylinder, R = 8.33 ms, T = 2.05 ms to within the paper's
+printed precision, with sub-percent residuals on every anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Run length in cylinders for 1000-block runs (1000 / 64).
+M = 15.625
+
+#: Blocks per run in the paper's evaluation.
+BLOCKS = 1000
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One reported total: configuration plus the paper's value."""
+
+    k: int
+    d: int
+    n: int
+    total_s: float
+    source: str
+
+    def coefficients(self) -> tuple[float, float, float]:
+        """(a_S, a_R, a_T) with ``total_s = a_S S + a_R R + a_T T``."""
+        scale = self.k * BLOCKS / 1000.0  # ms -> s over all blocks
+        return (
+            scale * M * self.k / (3.0 * self.n * self.d),
+            scale / self.n,
+            scale,
+        )
+
+
+#: The anchors recoverable from the paper's prose (values printed by
+#: the paper; see DESIGN.md section 2 for the digit reconstruction).
+PAPER_ANCHORS: tuple[Anchor, ...] = (
+    Anchor(25, 1, 1, 357.2, "no prefetch, k=25, 1 disk"),
+    Anchor(50, 1, 1, 909.7, "no prefetch, k=50, 1 disk"),
+    Anchor(25, 5, 1, 279.0, "no prefetch, k=25, 5 disks"),
+    Anchor(50, 10, 1, 558.1, "no prefetch, k=50, 10 disks"),
+    Anchor(25, 1, 10, 81.8, "intra-run N=10, k=25, 1 disk"),
+    Anchor(50, 1, 10, 183.2, "intra-run N=10, k=50, 1 disk"),
+    Anchor(25, 1, 30, 61.5, "intra-run N=30, k=25, 1 disk"),
+    Anchor(50, 1, 30, 129.4, "intra-run N=30, k=50, 1 disk"),
+)
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Solved constants plus fit quality."""
+
+    seek_ms_per_cylinder: float
+    avg_rotational_latency_ms: float
+    transfer_ms_per_block: float
+    max_relative_residual: float
+    residuals: tuple[float, ...]
+
+
+def solve_constants(anchors: Sequence[Anchor] = PAPER_ANCHORS) -> Calibration:
+    """Least-squares solve of the anchor system for (S, R, T)."""
+    if len(anchors) < 3:
+        raise ValueError("need at least three anchors for three unknowns")
+    rows = [anchor.coefficients() for anchor in anchors]
+    rhs = [anchor.total_s for anchor in anchors]
+
+    # Normal equations: (A^T A) x = A^T b.
+    normal = [[0.0] * 3 for _ in range(3)]
+    vector = [0.0] * 3
+    for row, b in zip(rows, rhs):
+        for i in range(3):
+            vector[i] += row[i] * b
+            for j in range(3):
+                normal[i][j] += row[i] * row[j]
+
+    solution = _solve_3x3(normal, vector)
+    residuals = []
+    for anchor, row in zip(anchors, rows):
+        predicted = sum(c * x for c, x in zip(row, solution))
+        residuals.append((predicted - anchor.total_s) / anchor.total_s)
+    return Calibration(
+        seek_ms_per_cylinder=solution[0],
+        avg_rotational_latency_ms=solution[1],
+        transfer_ms_per_block=solution[2],
+        max_relative_residual=max(abs(r) for r in residuals),
+        residuals=tuple(residuals),
+    )
+
+
+def _solve_3x3(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting for a 3x3 system."""
+    a = [row[:] + [b] for row, b in zip(matrix, rhs)]
+    size = 3
+    for column in range(size):
+        pivot = max(range(column, size), key=lambda r: abs(a[r][column]))
+        if abs(a[pivot][column]) < 1e-12:
+            raise ValueError("singular system: anchors are degenerate")
+        a[column], a[pivot] = a[pivot], a[column]
+        for row in range(column + 1, size):
+            factor = a[row][column] / a[column][column]
+            for j in range(column, size + 1):
+                a[row][j] -= factor * a[column][j]
+    solution = [0.0] * size
+    for row in range(size - 1, -1, -1):
+        accumulated = sum(a[row][j] * solution[j] for j in range(row + 1, size))
+        solution[row] = (a[row][size] - accumulated) / a[row][row]
+    return solution

@@ -1,0 +1,87 @@
+"""Inter-run prefetching analysis and lower bounds.
+
+**Synchronized inter-run model.**  One fetch cycle reads ``N`` blocks
+on each of ``D`` disks and completes when the slowest disk finishes.
+Disk ``i``'s service time is ``S_i = sigma_i + rho_i + T N`` with
+``sigma`` the (random) seek and ``rho ~ Uniform(0, 2R)`` the rotational
+latency.  Approximating the seek by its mean ``m k S / (3 D)`` and
+using ``E(max of D uniforms on (0, 2R)) = 2 R D / (D + 1)``:
+
+    E(cycle) = m k S / (3 D) + 2 R D / (D + 1) + T N
+
+and since ``N D`` blocks arrive per cycle, the per-block time is
+
+    tau = m k S / (3 N D^2) + 2 R / (N (D + 1)) + T / D.
+
+**Lower bounds.**  The I/O time can never drop below the pure transfer
+time: ``k * blocks_per_run * T`` on one disk and ``k * blocks_per_run *
+T / D`` on ``D`` disks.  Inter-run prefetching approaches the ``1/D``
+bound as the cache (and hence usable ``N``) grows; intra-run
+prefetching alone saturates at ``sqrt(pi D / 2)``-fold concurrency and
+cannot.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import DiskParameters
+
+
+def expected_max_uniform(d: int, upper: float) -> float:
+    """``E(max of d iid Uniform(0, upper)) = upper * d / (d + 1)``."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return upper * d / (d + 1.0)
+
+
+def inter_run_sync_cycle_ms(
+    k: int,
+    m: float,
+    n: int,
+    d: int,
+    disk: DiskParameters,
+) -> float:
+    """Expected duration of one synchronized ``D``-disk fetch cycle."""
+    if n < 1 or d < 1:
+        raise ValueError("N and D must be >= 1")
+    mean_seek = m * k * disk.seek_ms_per_cylinder / (3.0 * d)
+    max_rotation = expected_max_uniform(d, 2.0 * disk.avg_rotational_latency_ms)
+    return mean_seek + max_rotation + disk.transfer_ms_per_block * n
+
+
+def inter_run_sync_block_ms(
+    k: int,
+    m: float,
+    n: int,
+    d: int,
+    disk: DiskParameters,
+) -> float:
+    """Per-block time: the cycle time divided by the ``N D`` blocks read."""
+    return inter_run_sync_cycle_ms(k, m, n, d, disk) / (n * d)
+
+
+def inter_run_sync_total_s(
+    k: int,
+    m: float,
+    n: int,
+    d: int,
+    disk: DiskParameters,
+    blocks_per_run: int = 1000,
+) -> float:
+    """Total synchronized inter-run merge time in seconds."""
+    return inter_run_sync_block_ms(k, m, n, d, disk) * k * blocks_per_run / 1000.0
+
+
+def lower_bound_total_s(
+    k: int,
+    d: int,
+    disk: DiskParameters,
+    blocks_per_run: int = 1000,
+) -> float:
+    """Transfer-time lower bound: ``k * blocks_per_run * T / D`` seconds.
+
+    51.2 s (k=25) and 102.4 s (k=50) on one disk; 10.25 s and 20.5 s on
+    five disks -- the asymptotes of Figures 3.2 and 3.5.
+    """
+    if d < 1:
+        raise ValueError("D must be >= 1")
+    return k * blocks_per_run * disk.transfer_ms_per_block / d / 1000.0

@@ -1,0 +1,98 @@
+"""Equations (1)-(4): average per-block I/O time.
+
+All take the disk constants ``S`` (seek ms/cylinder), ``R`` (average
+rotational latency, ms) and ``T`` (transfer ms/block), the run length
+``m`` in cylinders, the merge order ``k``, the fetch size ``N`` and the
+disk count ``D``.  The paper's approximation ``E(moves) = k/3`` is used
+throughout (see :mod:`repro.analysis.seek_model` for the exact form).
+
+These formulas describe configurations **without I/O overlap**: a
+single disk, or synchronized multi-disk operation.  For unsynchronized
+multi-disk operation they give the time *before* dividing by the
+achieved concurrency (see :mod:`repro.analysis.urn_game`).
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import DiskParameters
+
+
+def no_prefetch_single_disk_block_ms(
+    k: int,
+    m: float,
+    disk: DiskParameters,
+) -> float:
+    """Equation (1): ``tau = m (k/3) S + R + T``."""
+    return (
+        m * (k / 3.0) * disk.seek_ms_per_cylinder
+        + disk.avg_rotational_latency_ms
+        + disk.transfer_ms_per_block
+    )
+
+
+def intra_run_single_disk_block_ms(
+    k: int,
+    m: float,
+    n: int,
+    disk: DiskParameters,
+) -> float:
+    """Equation (2): ``tau = m (k/3N) S + R/N + T``.
+
+    One seek and one rotational latency amortized over ``N`` contiguous
+    blocks of the demand run.
+    """
+    if n < 1:
+        raise ValueError("N must be >= 1")
+    return (
+        m * (k / (3.0 * n)) * disk.seek_ms_per_cylinder
+        + disk.avg_rotational_latency_ms / n
+        + disk.transfer_ms_per_block
+    )
+
+
+def no_prefetch_multi_disk_block_ms(
+    k: int,
+    m: float,
+    d: int,
+    disk: DiskParameters,
+) -> float:
+    """Equation (3): ``tau = m (k/3D) S + R + T``.
+
+    Each disk holds ``k/D`` runs, shrinking the average seek; rotation
+    and transfer are unchanged and there is no overlap (the merge
+    stalls on every demand block).
+    """
+    if d < 1:
+        raise ValueError("D must be >= 1")
+    return (
+        m * (k / (3.0 * d)) * disk.seek_ms_per_cylinder
+        + disk.avg_rotational_latency_ms
+        + disk.transfer_ms_per_block
+    )
+
+
+def intra_run_multi_disk_block_ms(
+    k: int,
+    m: float,
+    n: int,
+    d: int,
+    disk: DiskParameters,
+) -> float:
+    """Equation (4): synchronized intra-run on D disks:
+    ``tau = m (k/3ND) S + R/N + T``."""
+    if n < 1 or d < 1:
+        raise ValueError("N and D must be >= 1")
+    return (
+        m * (k / (3.0 * n * d)) * disk.seek_ms_per_cylinder
+        + disk.avg_rotational_latency_ms / n
+        + disk.transfer_ms_per_block
+    )
+
+
+def total_time_s(block_ms: float, k: int, blocks_per_run: int = 1000) -> float:
+    """Total merge time in seconds for a no-overlap per-block time.
+
+    The paper multiplies ``tau`` by the total number of blocks
+    (``1000 k`` in the evaluation).
+    """
+    return block_ms * k * blocks_per_run / 1000.0

@@ -1,0 +1,222 @@
+"""Markov analysis of the almost-full-cache policies.
+
+The paper adopts the *conservative* policy (fetch only the demand block
+when the cache cannot hold all ``D`` prefetch blocks) over the *greedy*
+one (fill whatever space is free), citing the authors' companion
+technical report: a Markov analysis of ``D`` disks with **one run per
+disk** showing the conservative policy achieves higher average I/O
+parallelism for all reasonable cache sizes.  This module rebuilds that
+analysis.
+
+Model (the TR's setting, ``N = 1``):
+
+* ``D`` infinite runs, one per disk; cache of ``C`` blocks.
+* Each step depletes one block of a uniformly chosen run.  A run's
+  last cached block being depleted triggers a *fetch event*:
+
+  - **conservative**: if the ``D`` blocks of a full prefetch fit, every
+    disk fetches one block (parallelism ``D``); otherwise only the
+    demand disk fetches (parallelism 1).
+  - **greedy**: the demand disk fetches, then as many other disks as
+    free space allows, chosen uniformly (parallelism ``1 + min(D - 1,
+    free - 1)``).
+
+* The state is the vector of cached blocks per run; by symmetry only
+  the sorted multiset matters, which keeps the chain small.
+
+``average_parallelism`` solves the chain for its stationary
+distribution and returns the expected parallelism over fetch events --
+the quantity the TR compares.  ``repro.experiments`` exposes this as
+``tab-markov`` with a simulation cross-check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Tuple
+
+from repro.core.parameters import CachePolicy
+
+State = Tuple[int, ...]  # sorted descending vector of cached blocks
+
+
+def _canonical(counts: Iterable[int]) -> State:
+    return tuple(sorted(counts, reverse=True))
+
+
+def enumerate_states(d: int, capacity: int) -> list[State]:
+    """All canonical states: ``d`` runs, each >= 1 block, sum <= C."""
+    if d < 1:
+        raise ValueError("D must be >= 1")
+    if capacity < d:
+        raise ValueError("cache must hold at least one block per run")
+    states = set()
+    for combo in itertools.combinations_with_replacement(
+        range(1, capacity - d + 2), d
+    ):
+        if sum(combo) <= capacity:
+            states.add(_canonical(combo))
+    return sorted(states)
+
+
+@dataclass(frozen=True)
+class MarkovResult:
+    """Stationary behaviour of one policy."""
+
+    policy: CachePolicy
+    num_disks: int
+    capacity: int
+    average_parallelism: float
+    fetch_rate: float  # fetch events per depletion step
+    num_states: int
+
+
+def _transitions(
+    state: State,
+    d: int,
+    capacity: int,
+    policy: CachePolicy,
+) -> Dict[State, Fraction]:
+    """Successor distribution of one depletion step from ``state``.
+
+    Returns canonical successor states with exact probabilities.
+    """
+    result: Dict[State, Fraction] = {}
+    pick = Fraction(1, d)
+    for j in range(d):
+        counts = list(state)
+        if counts[j] > 1:
+            counts[j] -= 1
+            _add(result, _canonical(counts), pick)
+            continue
+        # Depleting run j's last block: fetch event.
+        counts[j] = 0
+        free = capacity - sum(counts)
+        if policy is CachePolicy.CONSERVATIVE:
+            if free >= d:
+                successor = [c + 1 for c in counts]
+            else:
+                successor = list(counts)
+                successor[j] = 1
+            _add(result, _canonical(successor), pick)
+            continue
+        # Greedy: demand block first, then a uniform subset of the
+        # other disks of size min(d - 1, free - 1).
+        counts[j] = 1
+        budget = min(d - 1, free - 1)
+        others = [i for i in range(d) if i != j]
+        if budget <= 0:
+            _add(result, _canonical(counts), pick)
+            continue
+        subsets = list(itertools.combinations(others, budget))
+        weight = pick / len(subsets)
+        for subset in subsets:
+            successor = list(counts)
+            for i in subset:
+                successor[i] += 1
+            _add(result, _canonical(successor), weight)
+    return result
+
+
+def _add(table: Dict[State, Fraction], state: State, probability: Fraction) -> None:
+    table[state] = table.get(state, Fraction(0)) + probability
+
+
+def _fetch_statistics(
+    state: State, d: int, capacity: int, policy: CachePolicy
+) -> tuple[Fraction, Fraction]:
+    """(P(fetch event), E[parallelism * 1{fetch}]) for one step."""
+    pick = Fraction(1, d)
+    fetch_probability = Fraction(0)
+    parallelism_mass = Fraction(0)
+    for j in range(d):
+        if state[j] != 1:
+            continue
+        fetch_probability += pick
+        free = capacity - sum(state) + 1  # after the depletion
+        if policy is CachePolicy.CONSERVATIVE:
+            parallelism = d if free >= d else 1
+        else:
+            parallelism = 1 + min(d - 1, free - 1)
+        parallelism_mass += pick * parallelism
+    return fetch_probability, parallelism_mass
+
+
+def solve_stationary(
+    d: int,
+    capacity: int,
+    policy: CachePolicy,
+    iterations: int = 2000,
+    tolerance: float = 1e-12,
+) -> Dict[State, float]:
+    """Stationary distribution by power iteration (float arithmetic)."""
+    states = enumerate_states(d, capacity)
+    index = {state: i for i, state in enumerate(states)}
+    matrix: list[list[tuple[int, float]]] = [[] for _ in states]
+    for state in states:
+        row = index[state]
+        for successor, probability in _transitions(
+            state, d, capacity, policy
+        ).items():
+            matrix[row].append((index[successor], float(probability)))
+
+    size = len(states)
+    current = [1.0 / size] * size
+    for _ in range(iterations):
+        nxt = [0.0] * size
+        for row, mass in enumerate(current):
+            if mass == 0.0:
+                continue
+            for column, probability in matrix[row]:
+                nxt[column] += mass * probability
+        drift = max(abs(a - b) for a, b in zip(current, nxt))
+        current = nxt
+        if drift < tolerance:
+            break
+    return {state: current[index[state]] for state in states}
+
+
+def average_parallelism(
+    d: int,
+    capacity: int,
+    policy: CachePolicy,
+) -> MarkovResult:
+    """Expected I/O parallelism over fetch events, at stationarity."""
+    stationary = solve_stationary(d, capacity, policy)
+    fetch_rate = 0.0
+    parallelism_mass = 0.0
+    for state, probability in stationary.items():
+        fetch_p, mass = _fetch_statistics(state, d, capacity, policy)
+        fetch_rate += probability * float(fetch_p)
+        parallelism_mass += probability * float(mass)
+    average = parallelism_mass / fetch_rate if fetch_rate > 0 else 0.0
+    return MarkovResult(
+        policy=policy,
+        num_disks=d,
+        capacity=capacity,
+        average_parallelism=average,
+        fetch_rate=fetch_rate,
+        num_states=len(stationary),
+    )
+
+
+def policy_comparison(d: int, capacities: Iterable[int]) -> list[dict]:
+    """Conservative vs greedy parallelism over a cache-size sweep."""
+    rows = []
+    for capacity in capacities:
+        conservative = average_parallelism(d, capacity, CachePolicy.CONSERVATIVE)
+        greedy = average_parallelism(d, capacity, CachePolicy.GREEDY)
+        rows.append(
+            {
+                "capacity": capacity,
+                "conservative": conservative.average_parallelism,
+                "greedy": greedy.average_parallelism,
+                "advantage": (
+                    conservative.average_parallelism
+                    - greedy.average_parallelism
+                ),
+            }
+        )
+    return rows

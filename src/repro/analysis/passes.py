@@ -1,0 +1,125 @@
+"""Multi-pass merge planning and whole-sort cost estimation.
+
+The paper analyzes one merge pass.  A complete external sort may need
+several: with ``k`` initial runs and a maximum merge order (fan-in)
+``F``, runs must be merged in rounds until one remains.  This module
+extends the paper's single-pass formulas to the whole sort, in the
+spirit of the Aggarwal-Vitter accounting the paper builds on:
+
+* :func:`plan_passes` -- the pass structure for ``k`` runs at fan-in
+  ``F`` (each pass merges groups of up to ``F`` runs; every pass reads
+  and writes the full data once).
+* :func:`estimate_sort_time_s` -- total I/O time: each pass is costed
+  with the paper's per-block time for its own merge order, and every
+  pass moves all ``k * blocks_per_run`` blocks.
+
+The fan-in itself is a cache decision: intra-run prefetching at depth
+``N`` supports ``F = C / N`` open runs (cache of ``C`` blocks), so this
+module also exposes the classic trade-off ``fan_in_for_cache``:
+deeper prefetching lowers the per-pass time but may force more passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import iotime
+from repro.core.parameters import DiskParameters
+
+
+@dataclass(frozen=True)
+class MergePass:
+    """One round of merging."""
+
+    index: int
+    runs_in: int
+    runs_out: int
+    fan_in: int  # largest group actually merged this pass
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """The full pass structure of a sort."""
+
+    initial_runs: int
+    max_fan_in: int
+    passes: tuple[MergePass, ...]
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+
+def plan_passes(initial_runs: int, max_fan_in: int) -> MergePlan:
+    """Pass structure for ``initial_runs`` runs at fan-in ``max_fan_in``."""
+    if initial_runs < 1:
+        raise ValueError("need at least one run")
+    if max_fan_in < 2:
+        raise ValueError("fan-in must be >= 2")
+    passes = []
+    runs = initial_runs
+    index = 0
+    while runs > 1:
+        groups = -(-runs // max_fan_in)
+        fan_in = min(runs, max_fan_in)
+        passes.append(
+            MergePass(index=index, runs_in=runs, runs_out=groups, fan_in=fan_in)
+        )
+        runs = groups
+        index += 1
+    return MergePlan(
+        initial_runs=initial_runs,
+        max_fan_in=max_fan_in,
+        passes=tuple(passes),
+    )
+
+
+def fan_in_for_cache(cache_blocks: int, prefetch_depth: int) -> int:
+    """Largest merge order a cache supports at depth ``N``.
+
+    Intra-run prefetching needs ``N`` cached blocks per open run.
+    """
+    if cache_blocks < 1 or prefetch_depth < 1:
+        raise ValueError("cache and depth must be positive")
+    return max(1, cache_blocks // prefetch_depth)
+
+
+def estimate_sort_time_s(
+    initial_runs: int,
+    blocks_per_run: int,
+    cache_blocks: int,
+    prefetch_depth: int,
+    num_disks: int,
+    disk: DiskParameters,
+    blocks_per_cylinder: int = 64,
+    synchronized: bool = True,
+) -> tuple[MergePlan, float]:
+    """Whole-sort I/O estimate under intra-run prefetching.
+
+    Every pass moves all ``initial_runs * blocks_per_run`` blocks; pass
+    ``p`` merges groups of ``fan_in_p`` runs whose lengths have grown by
+    the product of earlier fan-ins, and is costed with equation (4) for
+    its own merge order.  Returns ``(plan, total_seconds)``.
+
+    This is a *read-side* estimate in the paper's spirit (write traffic
+    on separate disks); unsynchronized multi-disk operation would divide
+    each pass by its urn-game concurrency at best.
+    """
+    fan_in = fan_in_for_cache(cache_blocks, prefetch_depth)
+    if fan_in < 2:
+        raise ValueError(
+            f"cache of {cache_blocks} blocks cannot support merging at "
+            f"depth {prefetch_depth}"
+        )
+    plan = plan_passes(initial_runs, fan_in)
+    total_blocks = initial_runs * blocks_per_run
+    total_seconds = 0.0
+    run_blocks = blocks_per_run
+    for merge_pass in plan.passes:
+        m = run_blocks / blocks_per_cylinder
+        block_ms = iotime.intra_run_multi_disk_block_ms(
+            merge_pass.fan_in, m, prefetch_depth, num_disks, disk
+        )
+        total_seconds += block_ms * total_blocks / 1000.0
+        run_blocks *= merge_pass.fan_in
+    return plan, total_seconds

@@ -1,0 +1,118 @@
+"""A unified front-end over the paper's closed-form estimates.
+
+:func:`predict` maps a :class:`~repro.core.parameters.SimulationConfig`
+to the paper's analytical estimate for that configuration, choosing the
+applicable formula and flagging how trustworthy it is (the paper's
+models are exact for no-overlap cases and asymptotic elsewhere).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis import interrun, iotime, urn_game
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+
+
+class PredictionQuality(enum.Enum):
+    """How the paper itself rates the applicable formula."""
+
+    EXACT_MODEL = "exact-model"  # no overlap: formula models the system directly
+    ASYMPTOTIC = "asymptotic"  # valid for large N (and success ratio ~ 1)
+    LOWER_BOUND = "lower-bound"  # only a bound is available
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """An analytical estimate for one configuration."""
+
+    block_ms: float
+    total_s: float
+    quality: PredictionQuality
+    formula: str
+
+    def __repr__(self) -> str:
+        return (
+            f"Prediction({self.total_s:.1f}s, tau={self.block_ms:.3f}ms, "
+            f"{self.quality.value}: {self.formula})"
+        )
+
+
+def predict(config: SimulationConfig) -> Prediction:
+    """The paper's estimate of total merge time for ``config``.
+
+    Raises ``ValueError`` for configurations the paper provides no
+    closed form for (e.g. finite CPU speed, small inter-run caches) --
+    those are what the simulation is for.
+    """
+    if config.cpu_ms_per_block > 0:
+        raise ValueError(
+            "the paper provides no closed form for finite CPU speeds; "
+            "use the simulator"
+        )
+    k = config.num_runs
+    d = config.num_disks
+    n = config.effective_depth
+    m = config.run_cylinders
+    disk = config.disk
+    bpr = config.blocks_per_run
+
+    if config.strategy is PrefetchStrategy.NONE:
+        if d == 1:
+            block = iotime.no_prefetch_single_disk_block_ms(k, m, disk)
+            formula = "eq(1): m(k/3)S + R + T"
+        else:
+            block = iotime.no_prefetch_multi_disk_block_ms(k, m, d, disk)
+            formula = "eq(3): m(k/3D)S + R + T"
+        return Prediction(
+            block_ms=block,
+            total_s=iotime.total_time_s(block, k, bpr),
+            quality=PredictionQuality.EXACT_MODEL,
+            formula=formula,
+        )
+
+    if config.strategy is PrefetchStrategy.INTRA_RUN:
+        if d == 1:
+            block = iotime.intra_run_single_disk_block_ms(k, m, n, disk)
+            return Prediction(
+                block_ms=block,
+                total_s=iotime.total_time_s(block, k, bpr),
+                quality=PredictionQuality.EXACT_MODEL,
+                formula="eq(2): m(k/3N)S + R/N + T",
+            )
+        block = iotime.intra_run_multi_disk_block_ms(k, m, n, d, disk)
+        total = iotime.total_time_s(block, k, bpr)
+        if config.synchronized:
+            return Prediction(
+                block_ms=block,
+                total_s=total,
+                quality=PredictionQuality.EXACT_MODEL,
+                formula="eq(4): m(k/3ND)S + R/N + T",
+            )
+        concurrency = urn_game.expected_concurrency(d)
+        return Prediction(
+            block_ms=block / concurrency,
+            total_s=total / concurrency,
+            quality=PredictionQuality.ASYMPTOTIC,
+            formula="eq(4) / urn-game E(L); valid for large N",
+        )
+
+    if config.strategy is PrefetchStrategy.INTER_RUN:
+        if config.synchronized:
+            block = interrun.inter_run_sync_block_ms(k, m, n, d, disk)
+            return Prediction(
+                block_ms=block,
+                total_s=interrun.inter_run_sync_total_s(k, m, n, d, disk, bpr),
+                quality=PredictionQuality.ASYMPTOTIC,
+                formula="mkS/(3ND^2) + 2R/(N(D+1)) + T/D; needs success ratio ~ 1",
+            )
+        total = interrun.lower_bound_total_s(k, d, disk, bpr)
+        return Prediction(
+            block_ms=disk.transfer_ms_per_block / d,
+            total_s=total,
+            quality=PredictionQuality.LOWER_BOUND,
+            formula="k*blocks*T/D transfer bound; approached for large N and cache",
+        )
+
+    raise ValueError(f"unknown strategy {config.strategy}")

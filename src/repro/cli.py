@@ -1,0 +1,471 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig-3.2a --quick
+    python -m repro run all --out results.txt
+    python -m repro paper-check
+    python -m repro simulate -k 25 -D 5 --strategy inter-run -N 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.parameters import (
+    CachePolicy,
+    PrefetchStrategy,
+    SimulationConfig,
+    VictimSelector,
+)
+from repro.core.simulator import MergeSimulation
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Pai & Varman (ICDE 1992): prefetching with "
+            "multiple disks for external mergesort."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run.add_argument("--quick", action="store_true", help="reduced scale")
+    run.add_argument("--trials", type=int, help="override trial count")
+    run.add_argument("--blocks", type=int, help="override blocks per run")
+    run.add_argument("--seed", type=int, help="override base seed")
+    run.add_argument("--out", help="also write the report to this file")
+    run.add_argument(
+        "--export-dir",
+        help="also export JSON + CSV per experiment into this directory",
+    )
+
+    sub.add_parser(
+        "paper-check",
+        help="print the paper's analytical numbers from the closed forms",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="audit the reproduction: simulate every paper-printed value "
+        "at full scale and report verdicts (~3 min)",
+    )
+    validate.add_argument(
+        "--blocks", type=int, default=None,
+        help="override blocks per run (full paper scale = 1000; smaller "
+        "values are smoke tests, not comparable to the paper)",
+    )
+
+    sub.add_parser(
+        "selfcheck",
+        help="quick end-to-end verification: analytics + reduced-scale "
+        "simulations against the closed forms (~15s)",
+    )
+
+    predict = sub.add_parser(
+        "predict", help="analytical estimate for one configuration (no simulation)"
+    )
+    predict.add_argument("-k", "--runs", type=int, required=True)
+    predict.add_argument("-D", "--disks", type=int, required=True)
+    predict.add_argument(
+        "--strategy",
+        choices=[s.value for s in PrefetchStrategy],
+        default=PrefetchStrategy.NONE.value,
+    )
+    predict.add_argument("-N", "--depth", type=int, default=1)
+    predict.add_argument("--blocks", type=int, default=1000)
+    predict.add_argument("--sync", action="store_true")
+
+    plan = sub.add_parser(
+        "plan",
+        help="multi-pass merge plan and whole-sort time estimate for a "
+        "cache budget",
+    )
+    plan.add_argument("-k", "--runs", type=int, required=True,
+                      help="initial sorted runs")
+    plan.add_argument("-D", "--disks", type=int, default=1)
+    plan.add_argument("--blocks", type=int, default=1000,
+                      help="blocks per initial run")
+    plan.add_argument("--cache", type=int, required=True,
+                      help="cache budget in blocks")
+    plan.add_argument("-N", "--depth", type=int, default=1,
+                      help="intra-run prefetch depth")
+
+    gen = sub.add_parser(
+        "gen", help="generate a binary input file of random records"
+    )
+    gen.add_argument("path", help="output file (.blk)")
+    gen.add_argument("-n", "--records", type=int, required=True)
+    gen.add_argument("--seed", type=int, default=1992)
+
+    sort = sub.add_parser(
+        "sort", help="externally sort a binary record file with bounded memory"
+    )
+    sort.add_argument("input", help="input .blk file (see 'repro gen')")
+    sort.add_argument("output", help="sorted output file")
+    sort.add_argument(
+        "--memory-records", type=int, default=65_536,
+        help="records held in memory during run formation (default 64Ki)",
+    )
+    sort.add_argument(
+        "--temp-dir", action="append", default=None,
+        help="spill directory (repeat for several 'disks'; default: "
+        "alongside the output)",
+    )
+    sort.add_argument("--fan-in", type=int, default=None,
+                      help="maximum merge order (forces extra passes)")
+    sort.add_argument("--verify", action="store_true",
+                      help="re-read and check the output after sorting")
+
+    simulate = sub.add_parser("simulate", help="run one custom configuration")
+    simulate.add_argument("-k", "--runs", type=int, required=True)
+    simulate.add_argument("-D", "--disks", type=int, required=True)
+    simulate.add_argument(
+        "--strategy",
+        choices=[s.value for s in PrefetchStrategy],
+        default=PrefetchStrategy.NONE.value,
+    )
+    simulate.add_argument("-N", "--depth", type=int, default=1)
+    simulate.add_argument("--cache", type=int)
+    simulate.add_argument("--blocks", type=int, default=1000)
+    simulate.add_argument("--sync", action="store_true")
+    simulate.add_argument("--cpu-ms", type=float, default=0.0)
+    simulate.add_argument(
+        "--policy",
+        choices=[p.value for p in CachePolicy],
+        default=CachePolicy.CONSERVATIVE.value,
+    )
+    simulate.add_argument(
+        "--selector",
+        choices=[s.value for s in VictimSelector],
+        default=VictimSelector.RANDOM.value,
+    )
+    simulate.add_argument("--trials", type=int, default=5)
+    simulate.add_argument("--seed", type=int, default=1992)
+    simulate.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print disk/cache utilization sparklines (first trial)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import all_experiments
+
+    for experiment in all_experiments():
+        print(f"{experiment.experiment_id:24s} {experiment.title}")
+        print(f"{'':24s}   [{experiment.paper_reference}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import Scale
+    from repro.experiments.runner import default_experiment_ids, run_experiments
+
+    scale = Scale.quick() if args.quick else Scale.full()
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.blocks is not None:
+        overrides["blocks_per_run"] = args.blocks
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if overrides:
+        scale = Scale(
+            trials=overrides.get("trials", scale.trials),
+            blocks_per_run=overrides.get("blocks_per_run", scale.blocks_per_run),
+            sweep_density=scale.sweep_density,
+            base_seed=overrides.get("base_seed", scale.base_seed),
+        )
+    ids = args.ids
+    if ids == ["all"]:
+        ids = default_experiment_ids()
+    results = run_experiments(ids, scale)
+    if args.out:
+        with open(args.out, "w") as handle:
+            for result in results:
+                handle.write(result.render())
+                handle.write("\n\n")
+        print(f"report written to {args.out}")
+    if args.export_dir:
+        from repro.experiments.export import export_results
+
+        written = export_results(results, args.export_dir)
+        print(f"{len(written)} files exported to {args.export_dir}")
+    return 0
+
+
+def _cmd_paper_check() -> int:
+    from repro.analysis import (
+        expected_concurrency,
+        inter_run_sync_total_s,
+        lower_bound_total_s,
+        total_time_s,
+    )
+    from repro.analysis.iotime import (
+        intra_run_single_disk_block_ms,
+        no_prefetch_multi_disk_block_ms,
+        no_prefetch_single_disk_block_ms,
+    )
+    from repro.core.parameters import PAPER_DISK
+
+    m = 15.625
+    print("Reconstructed paper constants: S=0.03 ms/cyl, R=8.33 ms, T=2.05 ms,")
+    print("m=15.625 cylinders/run, 1000 blocks/run, 64 blocks/cylinder\n")
+    checks = [
+        ("no prefetch k=25 D=1", total_time_s(
+            no_prefetch_single_disk_block_ms(25, m, PAPER_DISK), 25), 357.2),
+        ("no prefetch k=50 D=1", total_time_s(
+            no_prefetch_single_disk_block_ms(50, m, PAPER_DISK), 50), 909.7),
+        ("no prefetch k=25 D=5", total_time_s(
+            no_prefetch_multi_disk_block_ms(25, m, 5, PAPER_DISK), 25), 279.0),
+        ("no prefetch k=50 D=10", total_time_s(
+            no_prefetch_multi_disk_block_ms(50, m, 10, PAPER_DISK), 50), 558.1),
+        ("intra k=25 N=10 D=1", total_time_s(
+            intra_run_single_disk_block_ms(25, m, 10, PAPER_DISK), 25), 81.8),
+        ("intra k=50 N=10 D=1", total_time_s(
+            intra_run_single_disk_block_ms(50, m, 10, PAPER_DISK), 50), 183.2),
+        ("inter sync k=25 D=5 N=10", inter_run_sync_total_s(
+            25, m, 10, 5, PAPER_DISK), 17.6),
+        ("bound k=25 D=1", lower_bound_total_s(25, 1, PAPER_DISK), 51.2),
+        ("bound k=50 D=1", lower_bound_total_s(50, 1, PAPER_DISK), 102.4),
+        ("bound k=25 D=5", lower_bound_total_s(25, 5, PAPER_DISK), 10.25),
+        ("urn E(L) D=5", expected_concurrency(5), 2.51),
+        ("urn E(L) D=10", expected_concurrency(10), 3.66),
+        ("urn E(L) D=25", expected_concurrency(25), 5.92),
+    ]
+    failures = 0
+    for label, computed, paper in checks:
+        ok = abs(computed - paper) / paper < 0.01
+        failures += 0 if ok else 1
+        status = "ok " if ok else "FAIL"
+        print(f"[{status}] {label:28s} computed {computed:8.2f}  paper {paper:8.2f}")
+    print(f"\n{len(checks) - failures}/{len(checks)} analytical checks match")
+    return 1 if failures else 0
+
+
+def _cmd_selfcheck() -> int:
+    """Reduced-scale simulations against the analytical models."""
+    from repro.analysis.predictions import predict
+
+    checks = [
+        ("no prefetch, 1 disk", dict(num_runs=10, num_disks=1), 0.03),
+        ("no prefetch, 5 disks", dict(num_runs=10, num_disks=5), 0.03),
+        (
+            "intra-run N=5, 1 disk",
+            dict(
+                num_runs=10,
+                num_disks=1,
+                strategy=PrefetchStrategy.INTRA_RUN,
+                prefetch_depth=5,
+            ),
+            0.05,
+        ),
+        (
+            "intra-run N=5, sync, 5 disks",
+            dict(
+                num_runs=10,
+                num_disks=5,
+                strategy=PrefetchStrategy.INTRA_RUN,
+                prefetch_depth=5,
+                synchronized=True,
+            ),
+            0.05,
+        ),
+        (
+            "inter-run N=5, sync, 5 disks",
+            dict(
+                num_runs=10,
+                num_disks=5,
+                strategy=PrefetchStrategy.INTER_RUN,
+                prefetch_depth=5,
+                cache_capacity=400,
+                synchronized=True,
+            ),
+            0.08,
+        ),
+    ]
+    failures = 0
+    print("simulating each configuration at 300 blocks/run, 2 trials:\n")
+    for label, kwargs, tolerance in checks:
+        config = SimulationConfig(blocks_per_run=300, trials=2, **kwargs)
+        estimate = predict(config)
+        simulated = MergeSimulation(config).run().total_time_s.mean
+        # Correct for the zero-cost initial load at reduced run length.
+        preload = config.num_runs * config.initial_blocks_per_run
+        adjusted = estimate.total_s * (config.total_blocks - preload) / (
+            config.total_blocks
+        )
+        relative = abs(simulated - adjusted) / adjusted
+        ok = relative <= tolerance
+        failures += 0 if ok else 1
+        status = "ok " if ok else "FAIL"
+        print(
+            f"[{status}] {label:32s} sim {simulated:7.2f}s  "
+            f"model {adjusted:7.2f}s  ({relative:+.1%})"
+        )
+    print(
+        f"\n{len(checks) - failures}/{len(checks)} simulation checks within "
+        "tolerance"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.predictions import predict
+
+    config = SimulationConfig(
+        num_runs=args.runs,
+        num_disks=args.disks,
+        strategy=PrefetchStrategy(args.strategy),
+        prefetch_depth=args.depth,
+        blocks_per_run=args.blocks,
+        synchronized=args.sync,
+    )
+    estimate = predict(config)
+    print(f"configuration : {config.describe()}")
+    print(f"formula       : {estimate.formula}")
+    print(f"quality       : {estimate.quality.value}")
+    print(f"tau per block : {estimate.block_ms:.3f} ms")
+    print(f"total time    : {estimate.total_s:.2f} s")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.io.filesort import write_random_input
+
+    write_random_input(args.path, args.records, seed=args.seed)
+    size = args.records * 64
+    print(f"wrote {args.records} records ({size:,} payload bytes) to "
+          f"{args.path}")
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.io.filesort import FileSorter, verify_sorted_file
+
+    temp_dirs = args.temp_dir or [str(Path(args.output).parent / "repro-spill")]
+    sorter = FileSorter(
+        memory_records=args.memory_records,
+        temp_dirs=temp_dirs,
+        max_fan_in=args.fan_in,
+    )
+    start = time.perf_counter()
+    stats = sorter.sort_file(args.input, args.output)
+    elapsed = time.perf_counter() - start
+    print(f"sorted {stats.records} records in {elapsed:.2f}s "
+          f"({stats.records / max(elapsed, 1e-9):,.0f} records/s)")
+    print(f"runs: {stats.initial_runs} initial, {stats.merge_passes} "
+          f"merge pass(es), final fan-in {stats.runs}")
+    print(f"I/O: {stats.bytes_read:,} B read, {stats.bytes_written:,} B "
+          "written (final pass)")
+    if args.verify:
+        count = verify_sorted_file(args.output)
+        print(f"verified: {count} records in order")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.passes import estimate_sort_time_s, fan_in_for_cache
+    from repro.core.parameters import PAPER_DISK
+
+    fan_in = fan_in_for_cache(args.cache, args.depth)
+    plan, total = estimate_sort_time_s(
+        initial_runs=args.runs,
+        blocks_per_run=args.blocks,
+        cache_blocks=args.cache,
+        prefetch_depth=args.depth,
+        num_disks=args.disks,
+        disk=PAPER_DISK,
+    )
+    print(f"cache {args.cache} blocks at depth N={args.depth} "
+          f"-> fan-in {fan_in}")
+    for merge_pass in plan.passes:
+        print(f"  pass {merge_pass.index}: {merge_pass.runs_in} runs -> "
+              f"{merge_pass.runs_out} (fan-in {merge_pass.fan_in})")
+    print(f"estimated merge I/O ({args.disks} disk(s), synchronized "
+          f"intra-run model): {total:.1f} s")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        num_runs=args.runs,
+        num_disks=args.disks,
+        strategy=PrefetchStrategy(args.strategy),
+        prefetch_depth=args.depth,
+        blocks_per_run=args.blocks,
+        cache_capacity=args.cache,
+        synchronized=args.sync,
+        cpu_ms_per_block=args.cpu_ms,
+        cache_policy=CachePolicy(args.policy),
+        victim_selector=VictimSelector(args.selector),
+        trials=args.trials,
+        base_seed=args.seed,
+        record_timelines=args.timeline,
+    )
+    result = MergeSimulation(config).run()
+    print(f"configuration : {config.describe()}")
+    low, high = result.total_time_s.confidence_interval()
+    print(f"total time    : {result.total_time_s.mean:.2f} s "
+          f"(95% CI [{low:.2f}, {high:.2f}], {config.trials} trials)")
+    print(f"success ratio : {result.success_ratio.mean:.3f}")
+    print(f"avg disk conc.: {result.average_concurrency.mean:.2f} "
+          f"of {config.num_disks}")
+    print(f"cpu stall     : {result.cpu_stall_s.mean:.2f} s")
+    if args.timeline:
+        from repro.core.timeline import utilization_report
+
+        print()
+        print(
+            utilization_report(
+                result.trials[0],
+                num_disks=config.num_disks,
+                cache_capacity=config.resolved_cache_capacity,
+            )
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "paper-check":
+        return _cmd_paper_check()
+    if args.command == "selfcheck":
+        return _cmd_selfcheck()
+    if args.command == "validate":
+        from repro.experiments.validation import render_verdicts, validate
+
+        verdicts = validate(blocks_per_run=args.blocks)
+        print(render_verdicts(verdicts))
+        return 0 if all(v.ok for v in verdicts) else 1
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "gen":
+        return _cmd_gen(args)
+    if args.command == "sort":
+        return _cmd_sort(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

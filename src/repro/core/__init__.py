@@ -1,0 +1,63 @@
+"""The paper's primary contribution: multi-disk prefetching for the
+
+merge phase of external mergesort, as a configurable discrete-event
+simulation with full measurement."""
+
+from repro.core.cache import BlockCache, CacheAccountingError, RunCacheState
+from repro.core.merge_sim import MergeTrial
+from repro.core.metrics import Aggregate, AggregateMetrics, ConcurrencyTracker, MergeMetrics
+from repro.core.parameters import (
+    PAPER_BLOCKS_PER_RUN,
+    PAPER_DISK,
+    PAPER_RECORDS_PER_BLOCK,
+    PAPER_TRIALS,
+    CachePolicy,
+    DiskParameters,
+    PrefetchStrategy,
+    SimulationConfig,
+    VictimSelector,
+)
+from repro.core.simulator import MergeSimulation, simulate_merge
+from repro.core.writes import WriteStats, WriteSubsystem
+from repro.core.strategies import (
+    FetchGroup,
+    FetchPlan,
+    FetchPlanner,
+    InterRunPlanner,
+    IntraRunPlanner,
+    NoPrefetchPlanner,
+    VictimChooser,
+    build_planner,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateMetrics",
+    "BlockCache",
+    "CacheAccountingError",
+    "CachePolicy",
+    "ConcurrencyTracker",
+    "DiskParameters",
+    "FetchGroup",
+    "FetchPlan",
+    "FetchPlanner",
+    "InterRunPlanner",
+    "IntraRunPlanner",
+    "MergeMetrics",
+    "MergeSimulation",
+    "MergeTrial",
+    "NoPrefetchPlanner",
+    "PAPER_BLOCKS_PER_RUN",
+    "PAPER_DISK",
+    "PAPER_RECORDS_PER_BLOCK",
+    "PAPER_TRIALS",
+    "PrefetchStrategy",
+    "RunCacheState",
+    "SimulationConfig",
+    "VictimChooser",
+    "VictimSelector",
+    "WriteStats",
+    "WriteSubsystem",
+    "build_planner",
+    "simulate_merge",
+]

@@ -1,0 +1,307 @@
+"""One trial of the merge-phase simulation.
+
+Wires together the DES kernel, the disk array, the block cache, and a
+fetch planner, then runs the paper's merge loop:
+
+1. Pick a run ``j`` uniformly at random among runs with unmerged
+   blocks (the Kwan-Baer random block-depletion model) and deplete its
+   leading resident block; spend ``cpu_ms_per_block`` of CPU time.
+2. If that exhausted ``j``'s resident blocks (and ``j`` is not
+   finished), a *demand situation* occurs: the merge cannot continue
+   until the next block of ``j`` is in memory.  If that block is
+   already in flight, wait for its arrival; otherwise ask the planner
+   for a fetch plan, reserve cache space, queue the requests, and wait
+   -- for the demand block only (unsynchronized) or for every block of
+   the plan (synchronized).
+
+An alternative *depletion source* can replace step 1's random choice
+with a recorded sequence (e.g. from a real record-level merge); see
+:mod:`repro.workloads.depletion`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterator, Optional
+
+from repro.core.cache import BlockCache
+from repro.core.metrics import ConcurrencyTracker, MergeMetrics
+from repro.core.parameters import SimulationConfig
+from repro.core.strategies import FetchPlan, build_planner
+from repro.core.writes import WriteSubsystem
+from repro.disks.drive import DiskDrive
+from repro.disks.layout import RunLayout
+from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.sim.events import AllOf
+from repro.sim.kernel import Simulator
+from repro.sim.random_streams import RandomStreams
+
+#: A depletion source yields the run to deplete next, given the list of
+#: unfinished runs.  The default draws uniformly at random.
+DepletionSource = Callable[[list[int]], int]
+
+
+class MergeTrial:
+    """A single seeded run of the merge-phase simulation."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        seed: int,
+        depletion_source: Optional[Iterator[int]] = None,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.layout = RunLayout(
+            num_runs=config.num_runs,
+            num_disks=config.num_disks,
+            blocks_per_run=config.blocks_per_run,
+            geometry=config.geometry,
+        )
+        self.cache = BlockCache(
+            self.sim,
+            capacity=config.resolved_cache_capacity,
+            runs=config.num_runs,
+            blocks_per_run=config.blocks_per_run,
+            record_timeline=config.record_timelines,
+        )
+        self.tracker = ConcurrencyTracker(
+            self.sim, config.num_disks, record_timeline=config.record_timelines
+        )
+        self.drives = [
+            DiskDrive(
+                self.sim,
+                drive_id=disk,
+                geometry=config.geometry,
+                parameters=config.disk,
+                rng=self.streams.stream(f"disk-{disk}"),
+                on_busy_change=self.tracker.on_busy_change,
+                stream_across_requests=config.stream_across_requests,
+                address_of=self._address_of,
+                discipline=config.queue_discipline,
+            )
+            for disk in range(config.num_disks)
+        ]
+        self.planner = build_planner(
+            config.strategy,
+            depth=config.effective_depth,
+            num_disks=config.num_disks,
+            policy=config.cache_policy,
+            selector=config.victim_selector,
+            rng=self.streams.stream("victim-choice"),
+            adaptive=config.adaptive_depth,
+        )
+        self._depletion_rng = self.streams.stream("depletion")
+        self._depletion_source = depletion_source
+        self.writes = (
+            WriteSubsystem(
+                self.sim,
+                num_disks=config.write_disks,
+                parameters=config.disk,
+                geometry=config.geometry,
+                streams=self.streams,
+                buffer_blocks=config.write_buffer_blocks,
+            )
+            if config.write_disks > 0
+            else None
+        )
+        # Counters.
+        self._blocks_depleted = 0
+        self._blocks_fetched = 0
+        self._fetch_requests = 0
+        self._demand_situations = 0
+        self._demand_hits_in_flight = 0
+        self._fetch_decisions = 0
+        self._full_prefetch_decisions = 0
+        self._cpu_stall_ms = 0.0
+        self._cpu_busy_ms = 0.0
+        self._write_stall_ms = 0.0
+        self._request_traces: Optional[list] = (
+            [] if config.record_requests else None
+        )
+
+    # ------------------------------------------------------------------
+    # Planner view protocol
+    # ------------------------------------------------------------------
+    def head_cylinder(self, disk: int) -> int:
+        return self.drives[disk].head_cylinder
+
+    def _address_of(self, request: BlockFetchRequest) -> int:
+        return self.layout.block_address(request.run, request.first_block)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> MergeMetrics:
+        """Execute the trial to completion and return its metrics."""
+        self._preload()
+        cpu = self.sim.process(self._merge_loop(), name="merge-cpu")
+        self.sim.run()
+        if cpu.exception is not None:
+            raise cpu.exception
+        # A crashed drive process leaves the CPU suspended forever and
+        # the event queue empty; surface the root cause, not a timeout.
+        all_drives = list(self.drives)
+        if self.writes is not None:
+            all_drives.extend(self.writes.drives)
+        for drive in all_drives:
+            if drive.process.triggered and drive.process.exception is not None:
+                raise drive.process.exception
+        expected = self.config.total_blocks
+        if self._blocks_depleted != expected:
+            raise RuntimeError(
+                f"merge ended early: {self._blocks_depleted} of {expected} blocks"
+            )
+        self.cache.check()
+        return self._collect_metrics()
+
+    def _preload(self) -> None:
+        initial = self.config.initial_blocks_per_run
+        for run in range(self.config.num_runs):
+            self.cache.preload(run, initial)
+
+    def _merge_loop(self) -> Generator:
+        config = self.config
+        cache = self.cache
+        unfinished = list(range(config.num_runs))
+        pick = self._make_picker(unfinished)
+
+        while unfinished:
+            run = pick()
+            cache.deplete(run)
+            self._blocks_depleted += 1
+            if config.cpu_ms_per_block > 0:
+                self._cpu_busy_ms += config.cpu_ms_per_block
+                yield self.sim.timeout(config.cpu_ms_per_block)
+            if self.writes is not None:
+                backpressure = self.writes.write_block()
+                if backpressure is not None:
+                    stall_start = self.sim.now
+                    yield backpressure
+                    self._write_stall_ms += self.sim.now - stall_start
+
+            state = cache.runs[run]
+            if state.finished:
+                unfinished.remove(run)
+                continue
+            if state.cached > 0:
+                continue
+
+            # Demand situation: the merge stalls until run's next block
+            # is resident.
+            self._demand_situations += 1
+            stall_start = self.sim.now
+            if state.in_flight > 0:
+                self._demand_hits_in_flight += 1
+                yield cache.arrival_event(run, state.next_deplete)
+            else:
+                plan = self.planner.plan(self, run)
+                self._record_decision(plan)
+                requests = self._issue(plan)
+                if config.synchronized:
+                    yield AllOf(self.sim, [req.completed for req in requests])
+                else:
+                    yield requests[0].demand_event
+            self._cpu_stall_ms += self.sim.now - stall_start
+
+        if self.writes is not None:
+            drain = self.writes.drain_event()
+            if drain is not None:
+                yield drain
+        return None
+
+    def _make_picker(self, unfinished: list[int]) -> Callable[[], int]:
+        if self._depletion_source is not None:
+            source = self._depletion_source
+
+            def pick_from_source() -> int:
+                run = next(source)
+                if run not in unfinished:
+                    raise RuntimeError(
+                        f"depletion source chose finished/unknown run {run}"
+                    )
+                return run
+
+            return pick_from_source
+
+        rng = self._depletion_rng
+
+        def pick_random() -> int:
+            return unfinished[rng.randrange(len(unfinished))]
+
+        return pick_random
+
+    def _record_decision(self, plan: FetchPlan) -> None:
+        if plan.counts_as_decision:
+            self._fetch_decisions += 1
+            if plan.full_prefetch:
+                self._full_prefetch_decisions += 1
+
+    def _issue(self, plan: FetchPlan) -> list[BlockFetchRequest]:
+        """Reserve cache space and queue one request per fetch group."""
+        requests: list[BlockFetchRequest] = []
+        for group in plan.groups:
+            state = self.cache.runs[group.run]
+            first_block = state.next_fetch
+            self.cache.reserve(group.run, group.count)
+            kind = FetchKind.DEMAND if group.demand else FetchKind.PREFETCH
+            request = BlockFetchRequest(
+                self.sim,
+                run=group.run,
+                first_block=first_block,
+                count=group.count,
+                kind=kind,
+            )
+            for offset, event in enumerate(request.block_events):
+                index = first_block + offset
+                event.add_callback(
+                    lambda _ev, run=group.run, idx=index: self.cache.block_arrived(
+                        run, idx
+                    )
+                )
+            disk = self.layout.disk_of_run(group.run)
+            if self._request_traces is not None:
+                from repro.core.tracing import RequestTrace
+
+                request.completed.add_callback(
+                    lambda _e, r=request, d=disk: self._request_traces.append(
+                        RequestTrace.from_request(r, d)
+                    )
+                )
+            self.drives[disk].submit(request)
+            requests.append(request)
+            self._fetch_requests += 1
+            self._blocks_fetched += group.count
+        return requests
+
+    def _collect_metrics(self) -> MergeMetrics:
+        return MergeMetrics(
+            config_description=self.config.describe(),
+            seed=self.seed,
+            total_time_ms=self.sim.now,
+            blocks_depleted=self._blocks_depleted,
+            blocks_fetched=self._blocks_fetched,
+            fetch_requests=self._fetch_requests,
+            demand_situations=self._demand_situations,
+            demand_hits_in_flight=self._demand_hits_in_flight,
+            fetch_decisions=self._fetch_decisions,
+            full_prefetch_decisions=self._full_prefetch_decisions,
+            cpu_stall_ms=self._cpu_stall_ms,
+            cpu_busy_ms=self._cpu_busy_ms,
+            drive_stats=[drive.stats for drive in self.drives],
+            average_concurrency=self.tracker.average_concurrency(),
+            peak_concurrency=self.tracker.peak,
+            disk_busy_fraction=self.tracker.busy_fraction(),
+            cache_min_free=self.cache.min_free,
+            cache_mean_occupancy=self.cache.mean_occupancy(),
+            cache_peak_occupancy=self.cache.peak_occupancy,
+            blocks_written=(
+                self.writes.stats.blocks_written if self.writes else 0
+            ),
+            write_stall_ms=self._write_stall_ms,
+            write_stalls=self.writes.stats.stalls if self.writes else 0,
+            concurrency_timeline=self.tracker.timeline,
+            cache_timeline=self.cache.timeline,
+            request_traces=self._request_traces,
+        )

@@ -1,0 +1,73 @@
+"""Public entry point: run a configuration over several seeded trials.
+
+Example::
+
+    from repro import MergeSimulation, SimulationConfig, PrefetchStrategy
+
+    config = SimulationConfig(
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        cache_capacity=800,
+    )
+    result = MergeSimulation(config).run()
+    print(result.total_time_s.mean, result.success_ratio.mean)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.merge_sim import MergeTrial
+from repro.core.metrics import AggregateMetrics, MergeMetrics
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+
+
+class MergeSimulation:
+    """Runs ``config.trials`` independent trials and aggregates them."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+
+    def run_trial(
+        self,
+        trial: int = 0,
+        depletion_source: Optional[Iterator[int]] = None,
+    ) -> MergeMetrics:
+        """Run one trial; trial ``t`` is seeded ``base_seed + t``."""
+        return MergeTrial(
+            self.config,
+            seed=self.config.base_seed + trial,
+            depletion_source=depletion_source,
+        ).run()
+
+    def run(self) -> AggregateMetrics:
+        """Run all trials and return aggregated metrics."""
+        trials = [self.run_trial(t) for t in range(self.config.trials)]
+        return AggregateMetrics(
+            config_description=self.config.describe(),
+            trials=trials,
+        )
+
+
+def simulate_merge(
+    num_runs: int,
+    num_disks: int,
+    strategy: PrefetchStrategy = PrefetchStrategy.NONE,
+    prefetch_depth: int = 1,
+    **kwargs,
+) -> AggregateMetrics:
+    """Convenience wrapper: build a config and run it.
+
+    Extra keyword arguments are forwarded to
+    :class:`~repro.core.parameters.SimulationConfig`.
+    """
+    config = SimulationConfig(
+        num_runs=num_runs,
+        num_disks=num_disks,
+        strategy=strategy,
+        prefetch_depth=prefetch_depth,
+        **kwargs,
+    )
+    return MergeSimulation(config).run()

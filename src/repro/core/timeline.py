@@ -1,0 +1,91 @@
+"""Utilization timelines: what the array was doing, over time.
+
+When a configuration runs with ``record_timelines=True`` the simulator
+keeps step functions of (a) the number of busy disks and (b) the cache
+occupancy.  This module turns those step functions into bucketed
+time-weighted averages and renders them as terminal sparklines -- the
+quickest way to *see* why a strategy is slow (idle disks, a starved
+cache, a write stall plateau).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: A step function: (time_ms, value) breakpoints, first at time 0.
+Timeline = Sequence[tuple[float, float]]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def downsample(timeline: Timeline, buckets: int, end_ms: float) -> list[float]:
+    """Time-weighted mean of a step function over equal buckets.
+
+    ``timeline`` holds (time, value) breakpoints: the value holds from
+    its breakpoint until the next.  Times beyond ``end_ms`` are
+    ignored; an empty timeline yields zeros.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    if end_ms <= 0:
+        return [0.0] * buckets
+    means = [0.0] * buckets
+    if not timeline:
+        return means
+    width = end_ms / buckets
+    points = list(timeline) + [(end_ms, timeline[-1][1])]
+    for (start, value), (nxt, _v) in zip(points, points[1:]):
+        start = max(0.0, min(start, end_ms))
+        nxt = max(0.0, min(nxt, end_ms))
+        if nxt <= start:
+            continue
+        first = int(start // width)
+        last = int(min(nxt, end_ms - 1e-12) // width)
+        for bucket in range(first, last + 1):
+            lo = max(start, bucket * width)
+            hi = min(nxt, (bucket + 1) * width)
+            if hi > lo:
+                means[bucket] += value * (hi - lo)
+    return [m / width for m in means]
+
+
+def render_sparkline(values: Sequence[float], maximum: float) -> str:
+    """One-line sparkline; values are scaled against ``maximum``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    top = len(_SPARK_LEVELS) - 1
+    cells = []
+    for value in values:
+        level = round(min(max(value / maximum, 0.0), 1.0) * top)
+        cells.append(_SPARK_LEVELS[level])
+    return "".join(cells)
+
+
+def utilization_report(
+    metrics,
+    num_disks: int,
+    cache_capacity: int,
+    buckets: int = 60,
+) -> str:
+    """Render disk-concurrency and cache-occupancy sparklines.
+
+    ``metrics`` is a :class:`~repro.core.metrics.MergeMetrics` whose
+    trial ran with ``record_timelines=True``; raises otherwise.
+    """
+    if metrics.concurrency_timeline is None or metrics.cache_timeline is None:
+        raise ValueError(
+            "no timelines recorded: run with record_timelines=True"
+        )
+    end = metrics.total_time_ms
+    disks = downsample(metrics.concurrency_timeline, buckets, end)
+    cache = downsample(metrics.cache_timeline, buckets, end)
+    lines = [
+        f"timeline over {end / 1000.0:.2f}s ({buckets} buckets)",
+        f"busy disks /{num_disks}: |{render_sparkline(disks, num_disks)}|",
+        f"cache used /{cache_capacity}: |{render_sparkline(cache, cache_capacity)}|",
+        (
+            f"mean busy disks {sum(disks) / len(disks):.2f}, "
+            f"mean cache occupancy {sum(cache) / len(cache):.1f} blocks"
+        ),
+    ]
+    return "\n".join(lines)

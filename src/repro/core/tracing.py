@@ -1,0 +1,128 @@
+"""Request-level tracing: every I/O, with waits and service windows.
+
+Where :mod:`repro.core.timeline` aggregates, this records each fetch
+request individually -- issue time, service start, completion, disk,
+kind, block count -- when a trial runs with ``record_requests=True``.
+The analyzers answer the questions aggregate metrics cannot: how long
+do demand fetches queue behind prefetches?  Which disk is the straggler
+in synchronized rounds?  ``render_gantt`` draws the per-disk service
+windows as ASCII so a single stall is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.disks.request import BlockFetchRequest, FetchKind
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One serviced fetch request."""
+
+    run: int
+    disk: int
+    kind: FetchKind
+    blocks: int
+    issue_ms: float
+    start_ms: float
+    finish_ms: float
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return self.start_ms - self.issue_ms
+
+    @property
+    def service_ms(self) -> float:
+        return self.finish_ms - self.start_ms
+
+    @classmethod
+    def from_request(cls, request: BlockFetchRequest, disk: int) -> "RequestTrace":
+        if request.start_service_time is None or request.finish_time is None:
+            raise ValueError("request has not completed service")
+        return cls(
+            run=request.run,
+            disk=disk,
+            kind=request.kind,
+            blocks=request.count,
+            issue_ms=request.issue_time,
+            start_ms=request.start_service_time,
+            finish_ms=request.finish_time,
+        )
+
+
+@dataclass(frozen=True)
+class RequestStatistics:
+    """Summary over one kind of request."""
+
+    count: int
+    mean_queue_wait_ms: float
+    max_queue_wait_ms: float
+    mean_service_ms: float
+    total_blocks: int
+
+
+def request_statistics(
+    traces: Sequence[RequestTrace],
+    kind: FetchKind | None = None,
+) -> RequestStatistics:
+    """Aggregate waits and service times, optionally by kind."""
+    selected = [t for t in traces if kind is None or t.kind is kind]
+    if not selected:
+        return RequestStatistics(0, 0.0, 0.0, 0.0, 0)
+    waits = [t.queue_wait_ms for t in selected]
+    services = [t.service_ms for t in selected]
+    return RequestStatistics(
+        count=len(selected),
+        mean_queue_wait_ms=sum(waits) / len(waits),
+        max_queue_wait_ms=max(waits),
+        mean_service_ms=sum(services) / len(services),
+        total_blocks=sum(t.blocks for t in selected),
+    )
+
+
+def render_gantt(
+    traces: Sequence[RequestTrace],
+    num_disks: int,
+    width: int = 72,
+    start_ms: float = 0.0,
+    end_ms: float | None = None,
+) -> str:
+    """ASCII service chart: one row per disk, time left to right.
+
+    Cells show ``D`` where a demand fetch is in service, ``p`` for a
+    prefetch, ``.`` idle.  Overlaps within a cell favour demand marks.
+    """
+    if num_disks < 1:
+        raise ValueError("need at least one disk")
+    if not traces:
+        raise ValueError("no traces to render")
+    horizon = end_ms if end_ms is not None else max(t.finish_ms for t in traces)
+    if horizon <= start_ms:
+        raise ValueError("empty time window")
+    span = horizon - start_ms
+    rows = [["."] * width for _ in range(num_disks)]
+
+    def column(time_ms: float) -> int:
+        fraction = (time_ms - start_ms) / span
+        return min(width - 1, max(0, int(fraction * width)))
+
+    for trace in traces:
+        if trace.finish_ms < start_ms or trace.start_ms > horizon:
+            continue
+        mark = "D" if trace.kind is FetchKind.DEMAND else "p"
+        first = column(max(trace.start_ms, start_ms))
+        last = column(min(trace.finish_ms, horizon))
+        row = rows[trace.disk]
+        for cell in range(first, last + 1):
+            if row[cell] != "D":  # demand marks win overlaps
+                row[cell] = mark
+    lines = [
+        f"disk {disk} |{''.join(row)}|" for disk, row in enumerate(rows)
+    ]
+    lines.append(
+        f"        {start_ms:.0f}ms{'':>{max(1, width - 12)}}{horizon:.0f}ms"
+    )
+    lines.append("        D demand fetch   p prefetch   . idle")
+    return "\n".join(lines)

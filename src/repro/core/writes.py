@@ -1,0 +1,136 @@
+"""Write traffic: the dimension the paper sets aside.
+
+The paper routes the merge's output to "a separate set of disks" and
+then ignores it "to focus on the benefits of prefetching".  This module
+models that separate write subsystem so the assumption can be tested:
+
+* The merge emits one output block per input block depleted; blocks go
+  to ``W`` write disks round-robin and each disk writes its stream
+  sequentially (first write pays a rotational latency, the rest stream
+  at transfer rate).
+* Each write disk has a bounded buffer of ``write_buffer_blocks``
+  not-yet-written blocks.  When the target disk's buffer is full the
+  merge **stalls** -- the backpressure that makes an undersized write
+  array the bottleneck.
+
+The classic sizing result falls out: with the read side delivering one
+block per ``T/D`` on average, the writes need ``W >= D`` equal disks to
+stay off the critical path (see the ``ext-write-traffic`` experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.disks.drive import DiskDrive
+from repro.disks.geometry import DiskGeometry
+from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.parameters import DiskParameters
+    from repro.sim.kernel import Simulator
+    from repro.sim.random_streams import RandomStreams
+
+
+@dataclass
+class WriteStats:
+    """Aggregate write-subsystem statistics (times in ms)."""
+
+    blocks_written: int = 0
+    stalls: int = 0
+    stall_ms: float = 0.0
+
+
+class WriteSubsystem:
+    """``W`` write disks absorbing the merge's output stream."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        num_disks: int,
+        parameters: "DiskParameters",
+        geometry: DiskGeometry,
+        streams: "RandomStreams",
+        buffer_blocks: int = 2,
+    ) -> None:
+        if num_disks < 1:
+            raise ValueError("need at least one write disk")
+        if buffer_blocks < 1:
+            raise ValueError("write buffer must hold at least one block")
+        self.sim = sim
+        self.buffer_blocks = buffer_blocks
+        self.stats = WriteStats()
+        self._next_address = [0] * num_disks
+        self._outstanding: list[list[BlockFetchRequest]] = [
+            [] for _ in range(num_disks)
+        ]
+        self._cursor = 0
+        self.drives = [
+            DiskDrive(
+                sim,
+                drive_id=disk,
+                geometry=geometry,
+                parameters=parameters,
+                rng=streams.stream(f"write-disk-{disk}"),
+                # Output streams sequentially: let back-to-back writes
+                # skip positioning, as a log-structured writer would.
+                stream_across_requests=True,
+                address_of=self._address_of,
+            )
+            for disk in range(num_disks)
+        ]
+        self._addresses: dict[int, int] = {}
+
+    def _address_of(self, request: BlockFetchRequest) -> int:
+        return self._addresses[id(request)]
+
+    def write_block(self) -> Optional[Event]:
+        """Emit one output block.
+
+        Returns an event the caller must wait on when the target disk's
+        buffer is full (backpressure), or ``None`` when the write was
+        absorbed without stalling.
+        """
+        disk = self._cursor
+        self._cursor = (self._cursor + 1) % len(self.drives)
+
+        request = BlockFetchRequest(
+            self.sim,
+            run=disk,  # identifies the output stream, not an input run
+            first_block=self._next_address[disk],
+            count=1,
+            kind=FetchKind.PREFETCH,
+        )
+        self._addresses[id(request)] = self._next_address[disk]
+        self._next_address[disk] += 1
+        outstanding = self._outstanding[disk]
+        outstanding.append(request)
+        request.completed.add_callback(
+            lambda _e, d=disk, r=request: self._finished(d, r)
+        )
+        self.drives[disk].submit(request)
+        self.stats.blocks_written += 1
+
+        if len(outstanding) > self.buffer_blocks:
+            self.stats.stalls += 1
+            return outstanding[0].completed
+        return None
+
+    def _finished(self, disk: int, request: BlockFetchRequest) -> None:
+        self._outstanding[disk].remove(request)
+        self._addresses.pop(id(request), None)
+
+    def drain_event(self) -> Optional[Event]:
+        """An event firing when every queued write has completed."""
+        from repro.sim.events import AllOf
+
+        pending = [
+            request.completed
+            for per_disk in self._outstanding
+            for request in per_disk
+        ]
+        if not pending:
+            return None
+        return AllOf(self.sim, pending)

@@ -1,0 +1,25 @@
+"""Disk subsystem model.
+
+Models the paper's I/O substrate: ``D`` independently operating drives,
+each holding ``k/D`` sorted runs laid out contiguously in cylinders.
+Service time for a request decomposes into the three components the
+paper charges -- linear seek (``S`` ms per cylinder), rotational latency
+(sampled uniformly over one revolution, mean ``R``), and per-block
+transfer (``T``) -- with contiguous blocks inside one fetch streamed at
+transfer rate.
+"""
+
+from repro.disks.drive import DiskDrive, DriveStats, QueueDiscipline
+from repro.disks.geometry import DiskGeometry
+from repro.disks.layout import RunLayout
+from repro.disks.request import BlockFetchRequest, FetchKind
+
+__all__ = [
+    "BlockFetchRequest",
+    "DiskDrive",
+    "DiskGeometry",
+    "DriveStats",
+    "FetchKind",
+    "QueueDiscipline",
+    "RunLayout",
+]

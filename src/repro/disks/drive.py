@@ -1,0 +1,250 @@
+"""The disk drive service process.
+
+Each drive runs one simulation process that drains a FIFO request queue.
+A request for ``n`` contiguous blocks is charged:
+
+* **seek**: ``|target cylinder - head cylinder| * S`` milliseconds,
+* **rotational latency**: one sample from ``Uniform(0, 2R)`` (mean
+  ``R``, half a revolution -- the paper's convention), and
+* **transfer**: ``n * T`` milliseconds, with one block-arrival event
+  fired after each ``T``.
+
+Contiguous blocks inside a single request stream at transfer rate; a new
+request always pays seek (possibly over zero cylinders) plus a fresh
+rotational latency, exactly as the paper's analytical model assumes
+(``R/N`` per block under ``N``-block intra-run prefetching).  The
+``stream_across_requests`` flag relaxes this for ablation studies: a
+request that starts at the block address immediately following the
+previous transfer is charged transfer time only.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.disks.geometry import DiskGeometry
+from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.parameters import DiskParameters
+    from repro.sim.kernel import Simulator
+
+BusyCallback = Callable[[int, bool], None]
+
+
+class QueueDiscipline(enum.Enum):
+    """Order in which a drive services its pending requests.
+
+    ``FIFO`` is the paper's model (and the default).  ``SSTF``
+    (shortest seek time first) picks the pending request whose target
+    cylinder is closest to the head -- a scheduling ablation the paper
+    does not explore.  Demand requests always preempt prefetches in the
+    SSTF ordering so the merge cannot be starved by a stream of nearby
+    prefetches.
+    """
+
+    FIFO = "fifo"
+    SSTF = "sstf"
+
+
+@dataclass
+class DriveStats:
+    """Per-drive service-time accounting (all times in milliseconds)."""
+
+    requests: int = 0
+    blocks: int = 0
+    demand_requests: int = 0
+    prefetch_requests: int = 0
+    seek_ms: float = 0.0
+    rotation_ms: float = 0.0
+    transfer_ms: float = 0.0
+    busy_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    sequential_requests: int = 0
+    seek_cylinders: int = 0
+    max_queue_length: int = 0
+    samples: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def service_ms(self) -> float:
+        return self.seek_ms + self.rotation_ms + self.transfer_ms
+
+    @property
+    def mean_seek_cylinders(self) -> float:
+        return self.seek_cylinders / self.requests if self.requests else 0.0
+
+
+class DiskDrive:
+    """One independently operating input drive.
+
+    Requests are submitted with :meth:`submit` and serviced first-come
+    first-served by an internal process.  Block-arrival and completion
+    events on the request object signal progress to the issuer.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        drive_id: int,
+        geometry: DiskGeometry,
+        parameters: "DiskParameters",
+        rng: random.Random,
+        on_busy_change: Optional[BusyCallback] = None,
+        stream_across_requests: bool = False,
+        address_of: Optional[Callable[[BlockFetchRequest], int]] = None,
+        discipline: QueueDiscipline = QueueDiscipline.FIFO,
+    ) -> None:
+        self.sim = sim
+        self.drive_id = drive_id
+        self.geometry = geometry
+        self.parameters = parameters
+        self.rng = rng
+        self.stats = DriveStats()
+        self.stream_across_requests = stream_across_requests
+        self.discipline = discipline
+        self._address_of = address_of
+        self._pending: list[BlockFetchRequest] = []
+        self._wakeup: Optional[Event] = None
+        self._on_busy_change = on_busy_change
+        self._is_busy = False
+        self._head_cylinder = 0
+        self._next_sequential_address: Optional[int] = None
+        self._process = sim.process(self._service_loop(), name=f"disk-{drive_id}")
+
+    @property
+    def process(self):
+        """The drive's service process (waitable; carries failures)."""
+        return self._process
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    @property
+    def head_cylinder(self) -> int:
+        return self._head_cylinder
+
+    def submit(self, request: BlockFetchRequest) -> BlockFetchRequest:
+        """Queue ``request`` for service; returns it for chaining."""
+        self._pending.append(request)
+        self.stats.max_queue_length = max(
+            self.stats.max_queue_length, len(self._pending)
+        )
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return request
+
+    # ------------------------------------------------------------------
+    # Service process
+    # ------------------------------------------------------------------
+    def _service_loop(self) -> Generator:
+        while True:
+            while not self._pending:
+                self._set_busy(False)
+                self._wakeup = Event(self.sim)
+                yield self._wakeup
+                self._wakeup = None
+            self._set_busy(True)
+            request = self._pick_next()
+            yield from self._service(request)
+
+    def _pick_next(self) -> BlockFetchRequest:
+        """Remove and return the next request per the discipline."""
+        if self.discipline is QueueDiscipline.FIFO or len(self._pending) == 1:
+            return self._pending.pop(0)
+        # SSTF: demand requests first (oldest demand wins), then the
+        # prefetch whose cylinder is nearest the head.  A run's blocks
+        # must arrive in order, so only the *oldest* pending request of
+        # each run is eligible for reordering.
+        demand_positions = [
+            i for i, r in enumerate(self._pending) if r.kind is FetchKind.DEMAND
+        ]
+        if demand_positions:
+            return self._pending.pop(demand_positions[0])
+        seen_runs: set[int] = set()
+        eligible: list[int] = []
+        for index, request in enumerate(self._pending):
+            if request.run not in seen_runs:
+                seen_runs.add(request.run)
+                eligible.append(index)
+        head = self._head_cylinder
+        best = min(
+            eligible,
+            key=lambda i: abs(
+                self.geometry.cylinder_of(self._resolve_address(self._pending[i]))
+                - head
+            ),
+        )
+        return self._pending.pop(best)
+
+    def _service(self, request: BlockFetchRequest) -> Generator:
+        sim = self.sim
+        params = self.parameters
+        start = sim.now
+        request.start_service_time = start
+        self.stats.queue_wait_ms += start - request.issue_time
+
+        first_address = self._resolve_address(request)
+        target_cylinder = self.geometry.cylinder_of(first_address)
+
+        sequential = (
+            self.stream_across_requests
+            and self._next_sequential_address is not None
+            and first_address == self._next_sequential_address
+        )
+        if sequential:
+            seek_ms = 0.0
+            rotation_ms = 0.0
+            self.stats.sequential_requests += 1
+        else:
+            distance = abs(target_cylinder - self._head_cylinder)
+            seek_ms = distance * params.seek_ms_per_cylinder
+            rotation_ms = self.rng.uniform(0.0, params.rotation_period_ms)
+            self.stats.seek_cylinders += distance
+
+        positioning = seek_ms + rotation_ms
+        if positioning > 0:
+            yield sim.timeout(positioning)
+
+        for offset, block_event in enumerate(request.block_events):
+            yield sim.timeout(params.transfer_ms_per_block)
+            block_event.succeed((request.run, request.first_block + offset))
+
+        finish = sim.now
+        request.finish_time = finish
+        request.completed.succeed(request)
+
+        last_address = first_address + request.count - 1
+        self._head_cylinder = self.geometry.cylinder_of(last_address)
+        self._next_sequential_address = last_address + 1
+
+        stats = self.stats
+        stats.requests += 1
+        stats.blocks += request.count
+        if request.kind is FetchKind.DEMAND:
+            stats.demand_requests += 1
+        else:
+            stats.prefetch_requests += 1
+        stats.seek_ms += seek_ms
+        stats.rotation_ms += rotation_ms
+        stats.transfer_ms += request.count * params.transfer_ms_per_block
+        stats.busy_ms += finish - start
+
+    def _resolve_address(self, request: BlockFetchRequest) -> int:
+        if self._address_of is None:
+            raise RuntimeError(
+                "DiskDrive needs an address_of resolver to map requests to "
+                "block addresses"
+            )
+        return self._address_of(request)
+
+    def _set_busy(self, busy: bool) -> None:
+        if busy == self._is_busy:
+            return
+        self._is_busy = busy
+        if self._on_busy_change is not None:
+            self._on_busy_change(self.drive_id, busy)

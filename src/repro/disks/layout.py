@@ -1,0 +1,93 @@
+"""Placement of sorted runs across the disk array.
+
+The paper distributes the ``k`` runs equally over the ``D`` input disks
+and stores each run contiguously: run slot ``s`` of a disk occupies the
+block range ``[s * blocks_per_run, (s + 1) * blocks_per_run)``, i.e.
+``m = blocks_per_run / blocks_per_cylinder`` cylinders (15.625 for the
+paper's 1000-block runs and 64-block cylinders).
+
+Runs are assigned to disks round-robin (run ``r`` lives on disk
+``r mod D``); under the random-depletion model any balanced assignment
+is statistically equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disks.geometry import DiskGeometry
+
+
+@dataclass(frozen=True)
+class RunLayout:
+    """Maps ``(run, block-in-run)`` to ``(disk, block address, cylinder)``.
+
+    Attributes:
+        num_runs: total runs ``k``.
+        num_disks: input disks ``D``.
+        blocks_per_run: blocks in each run (1000 in the paper).
+        geometry: per-drive geometry (all drives identical).
+    """
+
+    num_runs: int
+    num_disks: int
+    blocks_per_run: int
+    geometry: DiskGeometry = field(default_factory=DiskGeometry)
+
+    def __post_init__(self) -> None:
+        if self.num_runs < 1:
+            raise ValueError("need at least one run")
+        if self.num_disks < 1:
+            raise ValueError("need at least one disk")
+        if self.blocks_per_run < 1:
+            raise ValueError("runs must contain at least one block")
+        needed = self.max_runs_per_disk * self.blocks_per_run
+        if needed > self.geometry.capacity_blocks:
+            raise ValueError(
+                f"disk too small: {self.max_runs_per_disk} runs of "
+                f"{self.blocks_per_run} blocks need {needed} blocks, disk "
+                f"holds {self.geometry.capacity_blocks}"
+            )
+
+    @property
+    def max_runs_per_disk(self) -> int:
+        """ceil(k / D): the most runs any one disk holds."""
+        return -(-self.num_runs // self.num_disks)
+
+    @property
+    def run_cylinders(self) -> float:
+        """``m``: length of one run in cylinders (may be fractional)."""
+        return self.blocks_per_run / self.geometry.blocks_per_cylinder
+
+    def disk_of_run(self, run: int) -> int:
+        """The disk storing ``run``."""
+        self._check_run(run)
+        return run % self.num_disks
+
+    def slot_of_run(self, run: int) -> int:
+        """Position of ``run`` among the runs of its disk (0-based)."""
+        self._check_run(run)
+        return run // self.num_disks
+
+    def runs_on_disk(self, disk: int) -> list[int]:
+        """All runs stored on ``disk``, in slot order."""
+        if not 0 <= disk < self.num_disks:
+            raise ValueError(f"disk {disk} out of range")
+        return list(range(disk, self.num_runs, self.num_disks))
+
+    def block_address(self, run: int, block_index: int) -> int:
+        """Linear block address (on the run's disk) of a block of a run."""
+        self._check_run(run)
+        if not 0 <= block_index < self.blocks_per_run:
+            raise ValueError(
+                f"block {block_index} outside run of {self.blocks_per_run} blocks"
+            )
+        return self.slot_of_run(run) * self.blocks_per_run + block_index
+
+    def cylinder_of(self, run: int, block_index: int) -> int:
+        """Cylinder (on the run's disk) of a block of a run."""
+        return self.geometry.cylinder_of(self.block_address(run, block_index))
+
+    def _check_run(self, run: int) -> None:
+        if not 0 <= run < self.num_runs:
+            raise ValueError(f"run {run} out of range (k={self.num_runs})")

@@ -1,0 +1,43 @@
+"""Experiment harness: one registered experiment per paper artifact.
+
+Every figure and in-text result of the paper's evaluation section is an
+:class:`~repro.experiments.config.Experiment` with a stable id
+(``fig-3.2a``, ``tab-urn``, ...) that regenerates the corresponding
+rows/series, annotated with the paper's values where it prints any.
+Ablation experiments (``ablation-*``) cover the design choices the
+paper adopts but does not sweep.
+
+Run from Python::
+
+    from repro.experiments import get_experiment, Scale
+    result = get_experiment("fig-3.2a").run(Scale.quick())
+    print(result.render())
+
+or from the command line: ``python -m repro run fig-3.2a --quick``.
+"""
+
+from repro.experiments.config import (
+    Experiment,
+    ExperimentResult,
+    Scale,
+    Table,
+    all_experiments,
+    get_experiment,
+)
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: E402,F401
+    ablations,
+    figures,
+    markov_experiment,
+    tables,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "Scale",
+    "Table",
+    "all_experiments",
+    "get_experiment",
+]

@@ -1,0 +1,73 @@
+"""Machine-readable export of experiment results.
+
+Each :class:`~repro.experiments.config.ExperimentResult` can be written
+as JSON (one file per experiment, tables + notes) and each table as CSV
+-- so downstream plotting (gnuplot, pandas, a spreadsheet) can regrow
+the paper's figures from the same data the ASCII reports show.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.config import ExperimentResult, Table
+
+
+def _slug(text: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return slug or "untitled"
+
+
+def table_to_csv(table: Table, path: Path) -> Path:
+    """Write one table as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.headers)
+        writer.writerows(table.rows)
+    return path
+
+
+def result_to_json(result: ExperimentResult, path: Path) -> Path:
+    """Write a whole experiment result as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": [
+            {"title": t.title, "headers": t.headers, "rows": t.rows}
+            for t in result.tables
+        ],
+        "notes": result.notes,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
+
+
+def export_results(
+    results: Iterable[ExperimentResult],
+    directory: Path,
+) -> list[Path]:
+    """Write JSON + per-table CSVs for every result; returns all paths."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for result in results:
+        base = _slug(result.experiment_id)
+        written.append(result_to_json(result, directory / f"{base}.json"))
+        for index, table in enumerate(result.tables):
+            name = f"{base}-{index}-{_slug(table.title)[:40]}.csv"
+            written.append(table_to_csv(table, directory / name))
+    return written
+
+
+def load_result_json(path: Path) -> dict:
+    """Read back an exported JSON result (for tooling and tests)."""
+    with open(path) as handle:
+        return json.load(handle)

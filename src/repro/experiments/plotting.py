@@ -1,0 +1,119 @@
+"""ASCII chart rendering for experiment reports.
+
+The paper's artifacts are figures; the harness reproduces them as data
+tables plus, via this module, terminal-friendly line charts so a report
+can be *read* the way the figure is.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Glyphs assigned to successive series.
+MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: points are (x, y) pairs."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def of(cls, label: str, xs: Sequence[float], ys: Sequence[float]) -> "Series":
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        return cls(label=label, points=tuple(zip(xs, ys)))
+
+
+def render_chart(
+    series: Sequence[Series],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    y_floor: Optional[float] = 0.0,
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    ``y_floor`` pins the bottom of the y axis (0 by default so
+    magnitudes are honest); pass ``None`` to fit the data.
+    """
+    if not series or all(not s.points for s in series):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+
+    xs = [x for s in series for x, _y in s.points]
+    ys = [y for s in series for _x, y in s.points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys) if y_floor is None else min(y_floor, min(ys))
+    y_high = max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for index, one in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in one.points:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * gutter + "  " + axis)
+    if x_label or y_label:
+        lines.append(" " * gutter + f"  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {one.label}" for i, one in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def chart_from_table(table, x_header: str, y_headers: Sequence[str],
+                     title: str = "", **kwargs) -> str:
+    """Build a chart from a :class:`~repro.experiments.config.Table`.
+
+    Non-numeric cells (e.g. the ``-`` used for infeasible cache sizes)
+    are skipped.
+    """
+    x_index = table.headers.index(x_header)
+    series = []
+    for header in y_headers:
+        y_index = table.headers.index(header)
+        points = [
+            (float(row[x_index]), float(row[y_index]))
+            for row in table.rows
+            if _numeric(row[x_index]) and _numeric(row[y_index])
+        ]
+        series.append(Series(label=header, points=tuple(points)))
+    return render_chart(series, title=title or table.title, **kwargs)
+
+
+def _numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

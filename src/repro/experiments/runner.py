@@ -1,0 +1,47 @@
+"""Batch experiment execution and report writing."""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, Optional, TextIO
+
+from repro.experiments.config import (
+    ExperimentResult,
+    Scale,
+    all_experiments,
+    get_experiment,
+)
+
+
+def run_experiments(
+    experiment_ids: Iterable[str],
+    scale: Optional[Scale] = None,
+    stream: Optional[TextIO] = None,
+) -> list[ExperimentResult]:
+    """Run experiments in order, streaming each report as it finishes."""
+    out = stream or sys.stdout
+    scale = scale or Scale.full()
+    results = []
+    for experiment_id in experiment_ids:
+        experiment = get_experiment(experiment_id)
+        start = time.perf_counter()
+        result = experiment.run(scale)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.render(), file=out)
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n", file=out)
+        out.flush()
+    return results
+
+
+def default_experiment_ids(include_ablations: bool = True) -> list[str]:
+    """Every primary experiment id (aliases excluded)."""
+    ids = []
+    for experiment in all_experiments():
+        if experiment.description.startswith("(alias of"):
+            continue
+        if not include_ablations and experiment.experiment_id.startswith("ablation-"):
+            continue
+        ids.append(experiment.experiment_id)
+    return ids

@@ -1,0 +1,334 @@
+"""The paper's in-text numerical results, as estimate-vs-simulation tables.
+
+The ICDE paper reports its analytical validation inline rather than in
+numbered tables; each experiment here regenerates one such cluster of
+numbers.  The ``paper`` column is the value printed in the paper (valid
+at full scale only: 1000-block runs, 5 trials).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interrun, urn_game
+from repro.analysis.predictions import predict
+from repro.analysis.seek_model import SeekDistanceModel
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.experiments.config import ExperimentResult, Scale, Table, register
+from repro.workloads.depletion import DepletionTrace
+
+
+def _config(scale: Scale, **kwargs) -> SimulationConfig:
+    return SimulationConfig(
+        blocks_per_run=scale.blocks_per_run,
+        trials=scale.trials,
+        base_seed=scale.base_seed,
+        **kwargs,
+    )
+
+
+def _est_vs_sim_row(label: str, config: SimulationConfig, paper: object) -> list[object]:
+    estimate = predict(config)
+    simulated = MergeSimulation(config).run()
+    return [
+        label,
+        estimate.total_s,
+        simulated.total_time_s.mean,
+        simulated.total_time_s.std,
+        paper,
+    ]
+
+
+_EST_SIM_HEADERS = ["configuration", "estimate (s)", "simulated (s)", "std", "paper (s)"]
+
+
+@register(
+    "tab-seek",
+    "Seek-distance distribution under random depletion",
+    "Section 3.1 (Kwan-Baer extension)",
+    "P(x=i) and E(x) = (k^2-1)/3k ~ k/3, against an empirical depletion "
+    "trace.",
+)
+def tab_seek(scale: Scale) -> ExperimentResult:
+    rows = []
+    for k in (25, 50):
+        model = SeekDistanceModel(k)
+        trace = DepletionTrace.random(k, scale.blocks_per_run, seed=scale.base_seed)
+        moves = trace.move_distances()
+        # Only the steady state (all runs alive) matches the model;
+        # the tail where runs finish shortens distances slightly.
+        empirical = sum(moves) / len(moves)
+        rows.append(
+            [
+                k,
+                model.expected_moves(),
+                model.expected_moves_approx(),
+                empirical,
+                sum(model.pmf(i) for i in model.support()),
+            ]
+        )
+    table = Table(
+        title="Expected seek moves per request (runs)",
+        headers=["k", "E(x) exact", "k/3", "empirical", "pmf total"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="tab-seek",
+        title="Seek-distance model",
+        tables=[table],
+        notes=["pmf must sum to 1; empirical mean sits slightly below the "
+               "model because finished runs shrink the alive set"],
+    )
+
+
+@register(
+    "tab-single",
+    "No prefetching, single disk",
+    "Section 3.1 (values 357.2s / 910s)",
+    "Kwan-Baer baseline: estimate tau = m(k/3)S + R + T vs simulation.",
+)
+def tab_single(scale: Scale) -> ExperimentResult:
+    rows = [
+        _est_vs_sim_row(
+            "k=25 D=1",
+            _config(scale, num_runs=25, num_disks=1, strategy=PrefetchStrategy.NONE),
+            357.2,
+        ),
+        _est_vs_sim_row(
+            "k=50 D=1",
+            _config(scale, num_runs=50, num_disks=1, strategy=PrefetchStrategy.NONE),
+            909.7,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="tab-single",
+        title="No prefetching, single disk",
+        tables=[Table("Total merge time", _EST_SIM_HEADERS, rows)],
+    )
+
+
+@register(
+    "tab-intra-1d",
+    "Intra-run prefetching, single disk",
+    "Section 3.1 (81.8s / 183.2s at N=10; bounds 51.2s / 102.4s)",
+    "Estimate tau = m(k/3N)S + R/N + T vs simulation for N in {10, 30}.",
+)
+def tab_intra_1d(scale: Scale) -> ExperimentResult:
+    rows = []
+    paper = {(25, 10): 81.8, (25, 30): 61.5, (50, 10): 183.2, (50, 30): 129.4}
+    for k in (25, 50):
+        for n in (10, 30):
+            rows.append(
+                _est_vs_sim_row(
+                    f"k={k} N={n}",
+                    _config(
+                        scale,
+                        num_runs=k,
+                        num_disks=1,
+                        strategy=PrefetchStrategy.INTRA_RUN,
+                        prefetch_depth=n,
+                    ),
+                    paper[(k, n)],
+                )
+            )
+    bounds = Table(
+        title="Single-disk transfer-time lower bound (full scale)",
+        headers=["k", "bound (s)"],
+        rows=[[k, interrun.lower_bound_total_s(k, 1, _config(scale, num_runs=k, num_disks=1).disk)] for k in (25, 50)],
+    )
+    return ExperimentResult(
+        experiment_id="tab-intra-1d",
+        title="Intra-run prefetching, single disk",
+        tables=[Table("Total merge time", _EST_SIM_HEADERS, rows), bounds],
+        notes=["the asymptote (bound) is not reached even at N=30, as the "
+               "paper observes"],
+    )
+
+
+@register(
+    "tab-multi-nopf",
+    "No prefetching, multiple disks",
+    "Section 3.2 (279.0s for k=25 D=5; 558.1s for k=50 D=10)",
+    "Seek-distance reduction only: tau = m(k/3D)S + R + T vs simulation.",
+)
+def tab_multi_nopf(scale: Scale) -> ExperimentResult:
+    rows = [
+        _est_vs_sim_row(
+            "k=25 D=5",
+            _config(scale, num_runs=25, num_disks=5, strategy=PrefetchStrategy.NONE),
+            279.0,
+        ),
+        _est_vs_sim_row(
+            "k=50 D=10",
+            _config(scale, num_runs=50, num_disks=10, strategy=PrefetchStrategy.NONE),
+            558.1,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="tab-multi-nopf",
+        title="No prefetching, multiple disks",
+        tables=[Table("Total merge time", _EST_SIM_HEADERS, rows)],
+        notes=["no overlap occurs: the gain over one disk is purely the "
+               "shorter average seek (k/D runs per disk)"],
+    )
+
+
+@register(
+    "tab-urn",
+    "Urn-game concurrency for unsynchronized intra-run prefetching",
+    "Section 3.2 (overlaps 2.51 / 3.66 / 5.92; 23.4s and 32.2s asymptotes)",
+    "Exact E(L) = sum Q_j vs the closed form sqrt(pi D/2) - 1/3, plus "
+    "measured disk concurrency and total time at N=30.",
+)
+def tab_urn(scale: Scale) -> ExperimentResult:
+    analytic_rows = []
+    for d in (5, 10, 25):
+        analytic_rows.append(
+            [
+                d,
+                urn_game.expected_concurrency(d),
+                urn_game.expected_concurrency_closed_form(d),
+                d,
+            ]
+        )
+    analytic = Table(
+        title="Urn game: expected concurrent disks",
+        headers=["D", "E(L) exact", "sqrt(piD/2)-1/3", "best possible"],
+        rows=analytic_rows,
+    )
+
+    measured_rows = []
+    for k, d, paper_time in ((25, 5, 23.4), (50, 10, 32.2)):
+        config = _config(
+            scale,
+            num_runs=k,
+            num_disks=d,
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=30,
+        )
+        sync_total = predict(
+            _config(
+                scale,
+                num_runs=k,
+                num_disks=d,
+                strategy=PrefetchStrategy.INTRA_RUN,
+                prefetch_depth=30,
+                synchronized=True,
+            )
+        ).total_s
+        estimate = sync_total / urn_game.expected_concurrency(d)
+        result = MergeSimulation(config).run()
+        measured_rows.append(
+            [
+                f"k={k} D={d} N=30",
+                estimate,
+                result.total_time_s.mean,
+                result.average_concurrency.mean,
+                urn_game.expected_concurrency(d),
+                paper_time,
+            ]
+        )
+    measured = Table(
+        title="Unsynchronized intra-run at N=30",
+        headers=[
+            "configuration",
+            "estimate (s)",
+            "simulated (s)",
+            "measured conc.",
+            "urn E(L)",
+            "paper (s)",
+        ],
+        rows=measured_rows,
+    )
+    return ExperimentResult(
+        experiment_id="tab-urn",
+        title="Urn-game concurrency",
+        tables=[analytic, measured],
+        notes=[
+            "concurrency grows only as sqrt(D): the central negative "
+            "result for intra-run prefetching alone",
+            "paper notes its simulated N=30 times (24.8s, 35s) exceed the "
+            "asymptotic estimates because N=30 is below asymptotic range",
+        ],
+    )
+
+
+@register(
+    "tab-inter-sync",
+    "Synchronized inter-run prefetching",
+    "Section 3.2 (tau = 0.703ms, total 17.6s for k=25 D=5 N=10)",
+    "Estimate mkS/(3ND^2) + 2R/(N(D+1)) + T/D vs simulation.",
+)
+def tab_inter_sync(scale: Scale) -> ExperimentResult:
+    config = _config(
+        scale,
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        cache_capacity=1200,
+        synchronized=True,
+    )
+    rows = [_est_vs_sim_row("k=25 D=5 N=10 C=1200", config, 17.6)]
+    estimate = predict(config)
+    return ExperimentResult(
+        experiment_id="tab-inter-sync",
+        title="Synchronized inter-run prefetching",
+        tables=[Table("Total merge time", _EST_SIM_HEADERS, rows)],
+        notes=[f"per-block estimate tau = {estimate.block_ms:.3f} ms "
+               "(paper: 0.703 ms at full scale)"],
+    )
+
+
+@register(
+    "tab-bounds",
+    "Transfer-time lower bounds and large-N inter-run behaviour",
+    "Section 3.2 (bounds 10.25s / 20.5s at D=5; N=50 sims 12.2s / 20.8s)",
+    "The 1/D transfer bound, approached by inter-run prefetching with "
+    "large N and cache.",
+)
+def tab_bounds(scale: Scale) -> ExperimentResult:
+    disk = _config(scale, num_runs=25, num_disks=5).disk
+    bound_rows = [
+        ["k=25 D=1", interrun.lower_bound_total_s(25, 1, disk), 51.2],
+        ["k=50 D=1", interrun.lower_bound_total_s(50, 1, disk), 102.4],
+        ["k=25 D=5", interrun.lower_bound_total_s(25, 5, disk), 10.25],
+        ["k=50 D=5", interrun.lower_bound_total_s(50, 5, disk), 20.5],
+        ["k=50 D=10", interrun.lower_bound_total_s(50, 10, disk), 10.25],
+    ]
+    bounds = Table(
+        title="Transfer-time lower bounds (full scale)",
+        headers=["configuration", "bound (s)", "paper (s)"],
+        rows=bound_rows,
+    )
+
+    sim_rows = []
+    for k, paper in ((25, 12.2), (50, 20.8)):
+        config = _config(
+            scale,
+            num_runs=k,
+            num_disks=5,
+            strategy=PrefetchStrategy.INTER_RUN,
+            prefetch_depth=50,
+            cache_capacity=k * 50 * 4,
+        )
+        result = MergeSimulation(config).run()
+        sim_rows.append(
+            [
+                f"k={k} D=5 N=50",
+                result.total_time_s.mean,
+                result.success_ratio.mean,
+                paper,
+            ]
+        )
+    sims = Table(
+        title="Unsynchronized inter-run at N=50 (large cache)",
+        headers=["configuration", "simulated (s)", "success ratio", "paper (s)"],
+        rows=sim_rows,
+    )
+    return ExperimentResult(
+        experiment_id="tab-bounds",
+        title="Lower bounds and large-N inter-run prefetching",
+        tables=[bounds, sims],
+        notes=["inter-run prefetching approaches the 1/D bound; intra-run "
+               "alone cannot (urn-game sqrt(D) ceiling)"],
+    )

@@ -1,0 +1,34 @@
+"""File-backed sorting: the on-disk realization of the mergesort.
+
+Where :mod:`repro.mergesort` works on in-memory record lists (ideal for
+model validation), this package sorts *files*: fixed-size binary
+records packed 64-to-a-4096-byte-block exactly as in the paper's
+configuration, spilled as temporary run files across a set of
+directories (one per "disk"), and merged with bounded memory.
+
+* :mod:`repro.io.codec` -- fixed-width binary record encoding.
+* :mod:`repro.io.blockio` -- block-granular readers and writers with
+  per-block accounting (the unit the paper's I/O model charges).
+* :mod:`repro.io.filesort` -- the end-to-end bounded-memory file sort.
+"""
+
+from repro.io.blockio import BlockReader, BlockWriter
+from repro.io.codec import RecordCodec
+from repro.io.filesort import (
+    FileSorter,
+    FileSortStats,
+    merge_files,
+    verify_sorted_file,
+    write_random_input,
+)
+
+__all__ = [
+    "BlockReader",
+    "BlockWriter",
+    "FileSorter",
+    "FileSortStats",
+    "RecordCodec",
+    "merge_files",
+    "verify_sorted_file",
+    "write_random_input",
+]

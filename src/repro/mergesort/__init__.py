@@ -1,0 +1,34 @@
+"""A real, record-level external mergesort.
+
+The paper (following Kwan & Baer) models the merge's block consumption
+as a *random depletion* process rather than merging actual data.  This
+package implements the real thing -- run formation, loser-tree k-way
+merging, multi-pass external sorting -- both as a usable library and to
+*validate* the random-depletion model: the merge here emits the exact
+sequence in which run blocks are exhausted, which can drive the I/O
+simulator in place of the random model
+(see ``repro.workloads.depletion`` and the ``ablation-depletion-model``
+experiment).
+"""
+
+from repro.mergesort.external import ExternalMergesort, SortStatistics
+from repro.mergesort.merge import BlockedRun, MergeResult, merge_runs
+from repro.mergesort.records import Record, make_records
+from repro.mergesort.runs import (
+    form_runs_memory_sort,
+    form_runs_replacement_selection,
+)
+from repro.mergesort.tournament import LoserTree
+
+__all__ = [
+    "BlockedRun",
+    "ExternalMergesort",
+    "LoserTree",
+    "MergeResult",
+    "Record",
+    "SortStatistics",
+    "form_runs_memory_sort",
+    "form_runs_replacement_selection",
+    "make_records",
+    "merge_runs",
+]

@@ -1,0 +1,105 @@
+"""Block-structured k-way merging with depletion tracing.
+
+The bridge between the real mergesort and the paper's I/O model: runs
+are viewed as sequences of fixed-size blocks, and the merge records the
+order in which run blocks are *depleted* (their last record consumed).
+That depletion trace is exactly the process the paper models as uniform
+random choice -- feeding it into the simulator instead validates the
+model on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mergesort.records import RECORDS_PER_BLOCK, Record
+from repro.mergesort.tournament import LoserTree
+
+
+@dataclass(frozen=True)
+class BlockedRun:
+    """A sorted run split into fixed-size blocks."""
+
+    records: tuple[Record, ...]
+    records_per_block: int = RECORDS_PER_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.records_per_block < 1:
+            raise ValueError("records_per_block must be >= 1")
+        for i in range(len(self.records) - 1):
+            if self.records[i + 1] < self.records[i]:
+                raise ValueError(f"run unsorted at position {i}")
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks covered (last one may be partial)."""
+        records = len(self.records)
+        return -(-records // self.records_per_block) if records else 0
+
+    def block(self, index: int) -> tuple[Record, ...]:
+        start = index * self.records_per_block
+        if not 0 <= start < len(self.records):
+            raise IndexError(f"block {index} out of range")
+        return self.records[start : start + self.records_per_block]
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Record],
+        records_per_block: int = RECORDS_PER_BLOCK,
+    ) -> "BlockedRun":
+        return cls(tuple(records), records_per_block)
+
+
+@dataclass
+class MergeResult:
+    """Output of a traced k-way merge.
+
+    Attributes:
+        records: the merged (sorted) record stream.
+        depletion_trace: run index per depleted block, in depletion
+            order; its length is the total number of blocks.
+        blocks_per_run: block count of each input run.
+    """
+
+    records: list[Record]
+    depletion_trace: list[int]
+    blocks_per_run: list[int]
+
+    @property
+    def total_blocks(self) -> int:
+        return len(self.depletion_trace)
+
+    def depletions_of(self, run: int) -> int:
+        return sum(1 for r in self.depletion_trace if r == run)
+
+
+def merge_runs(runs: Sequence[BlockedRun]) -> MergeResult:
+    """Merge ``runs`` with a loser tree, recording block depletions."""
+    if not runs:
+        raise ValueError("need at least one run")
+    remaining_in_block = [
+        min(run.records_per_block, len(run.records)) if run.records else 0
+        for run in runs
+    ]
+    remaining_total = [len(run.records) for run in runs]
+    trace: list[int] = []
+
+    def on_pop(run_index: int) -> None:
+        remaining_in_block[run_index] -= 1
+        remaining_total[run_index] -= 1
+        if remaining_in_block[run_index] == 0:
+            trace.append(run_index)
+            run = runs[run_index]
+            remaining_in_block[run_index] = min(
+                run.records_per_block, remaining_total[run_index]
+            )
+
+    tree = LoserTree([run.records for run in runs], on_pop=on_pop)
+    merged = list(tree)
+    return MergeResult(
+        records=merged,
+        depletion_trace=trace,
+        blocks_per_run=[run.num_blocks for run in runs],
+    )

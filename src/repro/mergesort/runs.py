@@ -1,0 +1,86 @@
+"""Run formation: turning unsorted input into sorted runs.
+
+Two classical methods:
+
+* **Memory-load sorting** (the paper's implicit model): read one
+  memory-load of records, sort it, write it out as a run.  Every run
+  except possibly the last has exactly ``memory_records`` records --
+  matching the paper's equal-length-runs assumption.
+* **Replacement selection** (Knuth vol. 3): a selection tree produces
+  runs averaging *twice* the memory size on random input, at the cost
+  of variable run lengths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.mergesort.records import Record
+
+
+def form_runs_memory_sort(
+    records: Sequence[Record],
+    memory_records: int,
+) -> list[list[Record]]:
+    """Split ``records`` into memory-loads and sort each."""
+    if memory_records < 1:
+        raise ValueError("memory must hold at least one record")
+    runs = []
+    for start in range(0, len(records), memory_records):
+        load = sorted(records[start : start + memory_records])
+        runs.append(load)
+    return runs
+
+
+def form_runs_replacement_selection(
+    records: Sequence[Record],
+    memory_records: int,
+) -> list[list[Record]]:
+    """Form runs by replacement selection.
+
+    A min-heap of ``(run_number, record)`` pairs: the smallest record
+    eligible for the current run is emitted; an incoming record smaller
+    than the last emitted one is deferred to the next run.  Expected
+    run length on random input is ``2 * memory_records``.
+    """
+    if memory_records < 1:
+        raise ValueError("memory must hold at least one record")
+    source = iter(records)
+    heap: list[tuple[int, Record]] = []
+    for record in records[:memory_records]:
+        heap.append((0, record))
+    consumed = min(memory_records, len(records))
+    source = iter(records[consumed:])
+    heapq.heapify(heap)
+
+    runs: list[list[Record]] = []
+    current_run = 0
+    current: list[Record] = []
+    while heap:
+        run_number, record = heapq.heappop(heap)
+        if run_number != current_run:
+            if current:
+                runs.append(current)
+            current = []
+            current_run = run_number
+        current.append(record)
+        try:
+            incoming = next(source)
+        except StopIteration:
+            continue
+        if incoming < record:
+            heapq.heappush(heap, (current_run + 1, incoming))
+        else:
+            heapq.heappush(heap, (current_run, incoming))
+    if current:
+        runs.append(current)
+    return runs
+
+
+def check_runs(runs: Sequence[Sequence[Record]]) -> None:
+    """Raise ``AssertionError`` unless every run is sorted."""
+    for index, run in enumerate(runs):
+        for i in range(len(run) - 1):
+            if run[i + 1] < run[i]:
+                raise AssertionError(f"run {index} unsorted at position {i}")

@@ -1,0 +1,133 @@
+"""A loser tree (tournament tree) for k-way merging.
+
+The classic selection structure from Knuth vol. 3: an array of ``k``
+internal nodes each remembering the *loser* of its match, with the
+overall winner kept aside.  Replacing the winner and replaying its path
+to the root costs ``ceil(log2 k)`` comparisons, independent of how the
+other leaves are distributed -- the standard engine for high-fan-in
+external merges.
+
+Leaves are iterators; an exhausted iterator is replaced by a sentinel
+that compares greater than every real item.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+
+class _Sentinel:
+    """Compares greater than everything (including other sentinels)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return not isinstance(other, _Sentinel)
+
+    def __repr__(self) -> str:
+        return "<exhausted>"
+
+
+_SENTINEL = _Sentinel()
+
+
+class LoserTree:
+    """K-way merge engine over ``sources`` (iterables of sorted items).
+
+    Iterate over the tree to receive the merged stream.  The optional
+    ``on_pop(source_index)`` callback fires for every produced item and
+    is how the external-merge layer tracks block depletions.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[Iterable],
+        on_pop: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self._iterators: list[Iterator] = [iter(source) for source in sources]
+        self._k = len(self._iterators)
+        if self._k == 0:
+            raise ValueError("need at least one source")
+        self._on_pop = on_pop
+        # leaves[i] is the current head item of source i (or sentinel).
+        self._leaves: list[object] = []
+        self._exhausted = 0
+        for iterator in self._iterators:
+            self._leaves.append(self._pull(iterator))
+        # losers[1..k-1] are internal nodes; losers[0] holds the winner.
+        self._losers: list[int] = [0] * self._k
+        self._build()
+
+    def _pull(self, iterator: Iterator) -> object:
+        try:
+            return next(iterator)
+        except StopIteration:
+            self._exhausted += 1
+            return _SENTINEL
+
+    def _build(self) -> None:
+        """Initialize the loser nodes by playing all matches bottom-up."""
+        k = self._k
+        winners: list[int] = [0] * (2 * k)
+        # Leaves occupy virtual positions k .. 2k-1.
+        for i in range(k, 2 * k):
+            winners[i] = i - k
+        for node in range(k - 1, 0, -1):
+            left, right = winners[2 * node], winners[2 * node + 1]
+            # "left <= right" phrased as "not right < left" so sentinel
+            # comparisons resolve through _Sentinel's operators.
+            if not self._leaves[right] < self._leaves[left]:
+                winners[node], self._losers[node] = left, right
+            else:
+                winners[node], self._losers[node] = right, left
+        self._losers[0] = winners[1] if k > 1 else 0
+
+    def __iter__(self) -> "LoserTree":
+        return self
+
+    def __next__(self) -> object:
+        winner = self._losers[0]
+        item = self._leaves[winner]
+        if isinstance(item, _Sentinel):
+            raise StopIteration
+        if self._on_pop is not None:
+            self._on_pop(winner)
+        # Refill the winning leaf and replay its path to the root.
+        self._leaves[winner] = self._pull(self._iterators[winner])
+        node = (winner + self._k) // 2
+        current = winner
+        while node > 0:
+            loser = self._losers[node]
+            if self._leaves[loser] < self._leaves[current]:
+                self._losers[node], current = current, loser
+            node //= 2
+        self._losers[0] = current
+        return item
+
+    @property
+    def fan_in(self) -> int:
+        return self._k
+
+
+def heap_merge(sources: Iterable[Iterable]) -> Iterator:
+    """Reference k-way merge via ``heapq`` (for differential testing)."""
+    import heapq
+
+    iterators = [iter(source) for source in sources]
+    heap = []
+    for index, iterator in enumerate(iterators):
+        try:
+            heap.append((next(iterator), index))
+        except StopIteration:
+            pass
+    heapq.heapify(heap)
+    while heap:
+        item, index = heapq.heappop(heap)
+        yield item
+        try:
+            heapq.heappush(heap, (next(iterators[index]), index))
+        except StopIteration:
+            pass

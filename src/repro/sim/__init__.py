@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+This package is the reproduction's substrate for the Rice CSIM package
+used by the paper: a small, dependency-free, process-oriented
+discrete-event simulator.  Processes are plain Python generators that
+``yield`` waitable :class:`~repro.sim.events.Event` objects; the
+:class:`~repro.sim.kernel.Simulator` advances virtual time and resumes
+processes as the events they wait on fire.
+
+Public surface:
+
+* :class:`Simulator` -- the event loop and virtual clock.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` --
+  waitable primitives.
+* :class:`Process` -- a running generator; itself waitable.
+* :class:`Store` -- an unbounded/bounded FIFO channel between processes.
+* :class:`Resource` -- a counting semaphore with FIFO queueing.
+* :class:`RandomStreams` -- named, independently seeded RNG streams.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import Process, ProcessFailure
+from repro.sim.random_streams import RandomStreams
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "ProcessFailure",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

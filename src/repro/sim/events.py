@@ -1,0 +1,184 @@
+"""Waitable event primitives.
+
+An :class:`Event` is the unit of synchronization: processes ``yield``
+events to suspend until they fire.  Events carry either a *value*
+(success) or an *exception* (failure); the waiting process receives the
+value as the result of its ``yield`` expression, or has the exception
+thrown into it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.sim.kernel import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+Callback = Callable[["Event"], None]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot waitable occurrence in virtual time.
+
+    Lifecycle: *pending* -> (``succeed`` | ``fail``) -> scheduled ->
+    *fired* (callbacks run, waiters resumed).  ``succeed``/``fail`` may
+    be called at most once.
+    """
+
+    __slots__ = ("sim", "_value", "_exception", "_callbacks", "_fired", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._value: object = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callback] = []
+        self._fired = False
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a result (even if not yet fired)."""
+        return self._scheduled
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run and waiters were resumed."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (no exception)."""
+        return self._fired and self._exception is None
+
+    @property
+    def value(self) -> object:
+        """The success value; raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value read before it fired")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful; fires after ``delay`` time units."""
+        self._mark_scheduled()
+        self._value = value
+        self.sim.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._mark_scheduled()
+        self._exception = exception
+        self.sim.schedule(self, delay)
+        return self
+
+    def _mark_scheduled(self) -> None:
+        if self._scheduled:
+            raise SimulationError("event triggered twice")
+        self._scheduled = True
+
+    # ------------------------------------------------------------------
+    # Callbacks
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: Callback) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already fired the callback runs immediately.
+        """
+        if self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        if self._fired:
+            raise SimulationError("event fired twice")
+        self._fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
+        super().__init__(sim)
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class _Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired.
+
+    Succeeds with the list of child values (in construction order).
+    Fails with the first child exception encountered.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* child event fires.
+
+    Succeeds with the first finished child event object itself so the
+    waiter can tell which one won.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self.succeed(event)

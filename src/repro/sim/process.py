@@ -1,0 +1,85 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each time the generator
+``yield``s an :class:`~repro.sim.events.Event` the process suspends; when
+that event fires the process resumes with the event's value (or has the
+event's exception thrown into it).  A process is itself an event that
+fires when the generator returns, carrying the generator's return value
+-- so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class ProcessFailure(RuntimeError):
+    """Wraps an exception that escaped a process generator."""
+
+    def __init__(self, process: "Process", cause: BaseException) -> None:
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.__cause__ = cause
+
+
+class Process(Event):
+    """A running generator, waitable like any other event."""
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    _anonymous_count = 0
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        if not name:
+            Process._anonymous_count += 1
+            name = f"process-{Process._anonymous_count}"
+        self.name = name
+        self._waiting_on: Event | None = None
+        # Kick off at the current time via a zero-delay bootstrap event.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.exception is not None:
+                target = self.generator.throw(event.exception)
+            else:
+                target = self.generator.send(event.value if event.fired else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
+            self.fail(ProcessFailure(self, exc))
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(
+                ProcessFailure(
+                    self,
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    ),
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,154 @@
+"""Queueing primitives built on events.
+
+:class:`Store` is the workhorse here: each simulated disk drains a FIFO
+``Store`` of I/O requests.  :class:`Resource` is a FIFO counting
+semaphore provided for completeness (and used by tests as a reference
+implementation of mutual exclusion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Store:
+    """A FIFO channel with optional capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately unless the store is full); ``get()`` returns an event
+    that fires with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[object] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, object]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    @property
+    def waiting_putters(self) -> int:
+        return len(self._putters)
+
+    def put(self, item: object) -> Event:
+        """Offer ``item``; the returned event fires when it is stored."""
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Request the oldest item; the event fires with that item."""
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self._items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+                progress = True
+            if self._getters and self._items:
+                get_event = self._getters.popleft()
+                get_event.succeed(self._items.popleft())
+                progress = True
+
+
+class Resource:
+    """A counting semaphore with FIFO granting.
+
+    ``request()`` returns an event that fires when a unit is granted;
+    the holder must eventually call ``release()``.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a still-pending request; returns True if removed."""
+        try:
+            self._waiters.remove(event)
+        except ValueError:
+            return False
+        return True
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that releases the *smallest* item first.
+
+    Items must be mutually orderable.  Used for disk-scheduling
+    experiments where the queue is ordered by cylinder address rather
+    than arrival time.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        super().__init__(sim, capacity)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self._items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+                progress = True
+            if self._getters and self._items:
+                get_event = self._getters.popleft()
+                smallest = min(range(len(self._items)), key=self._items.__getitem__)
+                item = self._items[smallest]
+                del self._items[smallest]
+                get_event.succeed(item)
+                progress = True

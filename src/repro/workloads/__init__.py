@@ -1,0 +1,36 @@
+"""Workload generation: depletion sequences and record data.
+
+* :mod:`repro.workloads.depletion` -- the Kwan-Baer random
+  block-depletion process as a standalone, analyzable sequence.
+* :mod:`repro.workloads.generators` -- record-key distributions
+  (uniform, Gaussian, nearly-sorted, reverse, Zipf) for exercising the
+  real mergesort.
+"""
+
+from repro.workloads.depletion import (
+    DepletionTrace,
+    random_depletion_sequence,
+    skewed_depletion_sequence,
+    trace_statistics,
+)
+from repro.workloads.generators import (
+    gaussian_keys,
+    nearly_sorted_keys,
+    reverse_sorted_keys,
+    sorted_keys,
+    uniform_keys,
+    zipf_keys,
+)
+
+__all__ = [
+    "DepletionTrace",
+    "gaussian_keys",
+    "nearly_sorted_keys",
+    "random_depletion_sequence",
+    "reverse_sorted_keys",
+    "skewed_depletion_sequence",
+    "sorted_keys",
+    "trace_statistics",
+    "uniform_keys",
+    "zipf_keys",
+]

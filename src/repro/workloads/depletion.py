@@ -1,0 +1,154 @@
+"""The random block-depletion process, standalone.
+
+The Kwan-Baer model: at every step, one of the runs that still has
+unmerged blocks is chosen uniformly at random and its leading block is
+depleted.  The merge simulator implements this internally; this module
+provides the same process as an inspectable sequence -- for statistical
+tests of the model itself (inter-arrival distributions, seek-distance
+frequencies) and to drive the simulator through its external
+depletion-source interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+def random_depletion_sequence(
+    num_runs: int,
+    blocks_per_run: int,
+    seed: int,
+) -> Iterator[int]:
+    """Yield the run depleted at each step, until all blocks are gone."""
+    if num_runs < 1 or blocks_per_run < 1:
+        raise ValueError("num_runs and blocks_per_run must be >= 1")
+    rng = random.Random(seed)
+    remaining = [blocks_per_run] * num_runs
+    alive = list(range(num_runs))
+    while alive:
+        position = rng.randrange(len(alive))
+        run = alive[position]
+        remaining[run] -= 1
+        if remaining[run] == 0:
+            alive.pop(position)
+        yield run
+
+
+def skewed_depletion_sequence(
+    num_runs: int,
+    blocks_per_run: int,
+    seed: int,
+    alpha: float = 1.0,
+) -> Iterator[int]:
+    """A Zipf-skewed variant of the depletion process.
+
+    Run ``r`` (0-based) is chosen with probability proportional to
+    ``1 / (r + 1)^alpha`` among alive runs -- modelling a merge whose
+    runs contribute unevenly (e.g. runs drawn from different-sized key
+    ranges).  ``alpha = 0`` recovers the uniform Kwan-Baer model.
+    Skewed runs deplete and *finish* at very different times, so the
+    late merge phase has few alive runs; used by ``ext-skewed-depletion``
+    to probe the strategies' robustness to the uniformity assumption.
+    """
+    if num_runs < 1 or blocks_per_run < 1:
+        raise ValueError("num_runs and blocks_per_run must be >= 1")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    rng = random.Random(seed)
+    remaining = [blocks_per_run] * num_runs
+    alive = list(range(num_runs))
+    weights = [1.0 / ((run + 1) ** alpha) for run in range(num_runs)]
+    while alive:
+        total = sum(weights[run] for run in alive)
+        pick = rng.random() * total
+        accumulated = 0.0
+        chosen_index = len(alive) - 1
+        for position, run in enumerate(alive):
+            accumulated += weights[run]
+            if pick < accumulated:
+                chosen_index = position
+                break
+        run = alive[chosen_index]
+        remaining[run] -= 1
+        if remaining[run] == 0:
+            alive.pop(chosen_index)
+        yield run
+
+
+@dataclass(frozen=True)
+class DepletionTrace:
+    """A materialized depletion sequence with analysis helpers."""
+
+    sequence: tuple[int, ...]
+    num_runs: int
+
+    @classmethod
+    def random(
+        cls, num_runs: int, blocks_per_run: int, seed: int
+    ) -> "DepletionTrace":
+        return cls(
+            sequence=tuple(
+                random_depletion_sequence(num_runs, blocks_per_run, seed)
+            ),
+            num_runs=num_runs,
+        )
+
+    @classmethod
+    def from_sequence(cls, sequence: Sequence[int], num_runs: int) -> "DepletionTrace":
+        if any(not 0 <= run < num_runs for run in sequence):
+            raise ValueError("trace references a run outside [0, num_runs)")
+        return cls(sequence=tuple(sequence), num_runs=num_runs)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sequence)
+
+    def counts(self) -> list[int]:
+        """Blocks depleted per run."""
+        totals = [0] * self.num_runs
+        for run in self.sequence:
+            totals[run] += 1
+        return totals
+
+    def move_distances(self) -> list[int]:
+        """|run_t - run_{t-1}| per step: the seek-model's move counts.
+
+        Under the random model these follow
+        :class:`repro.analysis.seek_model.SeekDistanceModel` while all
+        runs are alive.
+        """
+        return [
+            abs(self.sequence[i] - self.sequence[i - 1])
+            for i in range(1, len(self.sequence))
+        ]
+
+    def interleave_factor(self) -> float:
+        """Fraction of steps that switch runs (1 - repeat rate).
+
+        Random depletion over ``k`` alive runs switches with probability
+        ``(k-1)/k``; a real merge of uncorrelated runs behaves
+        similarly, which is why the random model predicts it well.
+        """
+        if len(self.sequence) < 2:
+            return 0.0
+        switches = sum(
+            1
+            for i in range(1, len(self.sequence))
+            if self.sequence[i] != self.sequence[i - 1]
+        )
+        return switches / (len(self.sequence) - 1)
+
+
+def trace_statistics(trace: DepletionTrace) -> dict[str, float]:
+    """Summary statistics used by the model-validation experiment."""
+    moves = trace.move_distances()
+    mean_move = sum(moves) / len(moves) if moves else 0.0
+    return {
+        "length": float(len(trace)),
+        "mean_move_distance": mean_move,
+        "interleave_factor": trace.interleave_factor(),
+    }

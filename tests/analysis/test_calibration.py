@@ -1,0 +1,74 @@
+"""Tests for the parameter-reconstruction solver."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_ANCHORS,
+    Anchor,
+    solve_constants,
+)
+from repro.core.parameters import PAPER_DISK
+
+
+def test_recovers_the_paper_constants():
+    calibration = solve_constants()
+    assert calibration.seek_ms_per_cylinder == pytest.approx(0.03, abs=0.001)
+    assert calibration.avg_rotational_latency_ms == pytest.approx(8.33, abs=0.02)
+    assert calibration.transfer_ms_per_block == pytest.approx(2.05, abs=0.005)
+
+
+def test_residuals_are_sub_percent():
+    calibration = solve_constants()
+    assert calibration.max_relative_residual < 0.005
+    assert len(calibration.residuals) == len(PAPER_ANCHORS)
+
+
+def test_recovered_constants_match_paper_disk():
+    calibration = solve_constants()
+    assert calibration.seek_ms_per_cylinder == pytest.approx(
+        PAPER_DISK.seek_ms_per_cylinder, rel=0.02
+    )
+    assert calibration.avg_rotational_latency_ms == pytest.approx(
+        PAPER_DISK.avg_rotational_latency_ms, rel=0.02
+    )
+    assert calibration.transfer_ms_per_block == pytest.approx(
+        PAPER_DISK.transfer_ms_per_block, rel=0.02
+    )
+
+
+def test_anchor_coefficients_linear_form():
+    anchor = Anchor(25, 1, 1, 357.2, "test")
+    a_s, a_r, a_t = anchor.coefficients()
+    # total = k * (m*k/3*S + R + T): coefficients 25*15.625*25/3, 25, 25.
+    assert a_s == pytest.approx(25 * 15.625 * 25 / 3)
+    assert a_r == pytest.approx(25)
+    assert a_t == pytest.approx(25)
+
+
+def test_solver_is_exact_on_synthetic_data():
+    """Anchors generated from known constants must be recovered exactly."""
+    s, r, t = 0.07, 5.5, 1.25
+    anchors = []
+    # Note k/D must vary across anchors or S and R are inseparable
+    # (the S coefficient is proportional to k/D times the R one).
+    for k, d, n in ((10, 1, 1), (20, 1, 1), (10, 1, 5), (40, 4, 10)):
+        a = Anchor(k, d, n, 0.0, "synthetic")
+        coeff = a.coefficients()
+        total = coeff[0] * s + coeff[1] * r + coeff[2] * t
+        anchors.append(Anchor(k, d, n, total, "synthetic"))
+    calibration = solve_constants(anchors)
+    assert calibration.seek_ms_per_cylinder == pytest.approx(s, rel=1e-9)
+    assert calibration.avg_rotational_latency_ms == pytest.approx(r, rel=1e-9)
+    assert calibration.transfer_ms_per_block == pytest.approx(t, rel=1e-9)
+    assert calibration.max_relative_residual < 1e-9
+
+
+def test_underdetermined_system_rejected():
+    with pytest.raises(ValueError):
+        solve_constants(PAPER_ANCHORS[:2])
+
+
+def test_degenerate_anchors_rejected():
+    same = Anchor(25, 1, 1, 357.2, "dup")
+    with pytest.raises(ValueError, match="singular"):
+        solve_constants([same, same, same])

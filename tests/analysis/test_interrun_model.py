@@ -1,0 +1,74 @@
+"""Tests for the inter-run model and lower bounds."""
+
+import pytest
+
+from repro.analysis.interrun import (
+    expected_max_uniform,
+    inter_run_sync_block_ms,
+    inter_run_sync_cycle_ms,
+    inter_run_sync_total_s,
+    lower_bound_total_s,
+)
+from repro.core.parameters import PAPER_DISK, DiskParameters
+
+M = 15.625
+
+
+def test_expected_max_uniform_formula():
+    assert expected_max_uniform(1, 10.0) == pytest.approx(5.0)
+    assert expected_max_uniform(4, 10.0) == pytest.approx(8.0)
+    assert expected_max_uniform(9, 10.0) == pytest.approx(9.0)
+
+
+def test_expected_max_monte_carlo():
+    import random
+
+    rng = random.Random(7)
+    d, upper, rounds = 5, 2.0, 50_000
+    total = sum(max(rng.uniform(0, upper) for _ in range(d)) for _ in range(rounds))
+    assert total / rounds == pytest.approx(expected_max_uniform(d, upper), rel=0.01)
+
+
+def test_cycle_decomposition():
+    cycle = inter_run_sync_cycle_ms(25, M, 10, 5, PAPER_DISK)
+    seek = M * 25 * 0.03 / 15
+    rotation = expected_max_uniform(5, 16.66)
+    transfer = 10 * 2.05
+    assert cycle == pytest.approx(seek + rotation + transfer)
+
+
+def test_block_time_is_cycle_over_nd():
+    cycle = inter_run_sync_cycle_ms(25, M, 10, 5, PAPER_DISK)
+    block = inter_run_sync_block_ms(25, M, 10, 5, PAPER_DISK)
+    assert block == pytest.approx(cycle / 50)
+
+
+def test_total_time_scales_with_blocks_per_run():
+    full = inter_run_sync_total_s(25, M, 10, 5, PAPER_DISK, blocks_per_run=1000)
+    half = inter_run_sync_total_s(25, M, 10, 5, PAPER_DISK, blocks_per_run=500)
+    assert half == pytest.approx(full / 2)
+
+
+def test_block_time_approaches_t_over_d_for_large_n():
+    block = inter_run_sync_block_ms(25, M, 1000, 5, PAPER_DISK)
+    assert block == pytest.approx(2.05 / 5, rel=0.01)
+
+
+def test_lower_bound_scales_inversely_with_d():
+    one = lower_bound_total_s(25, 1, PAPER_DISK)
+    five = lower_bound_total_s(25, 5, PAPER_DISK)
+    assert five == pytest.approx(one / 5)
+
+
+def test_lower_bound_custom_disk():
+    disk = DiskParameters(transfer_ms_per_block=1.0)
+    assert lower_bound_total_s(10, 2, disk, blocks_per_run=100) == pytest.approx(0.5)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        expected_max_uniform(0, 1.0)
+    with pytest.raises(ValueError):
+        inter_run_sync_cycle_ms(25, M, 0, 5, PAPER_DISK)
+    with pytest.raises(ValueError):
+        lower_bound_total_s(25, 0, PAPER_DISK)

@@ -1,0 +1,74 @@
+"""Direct unit tests for the equation (1)-(4) implementations."""
+
+import pytest
+
+from repro.analysis.iotime import (
+    intra_run_multi_disk_block_ms,
+    intra_run_single_disk_block_ms,
+    no_prefetch_multi_disk_block_ms,
+    no_prefetch_single_disk_block_ms,
+    total_time_s,
+)
+from repro.core.parameters import DiskParameters
+
+#: A disk with unit-friendly constants for hand calculation.
+DISK = DiskParameters(
+    seek_ms_per_cylinder=1.0,
+    avg_rotational_latency_ms=6.0,
+    transfer_ms_per_block=3.0,
+)
+
+
+def test_eq1_hand_computed():
+    # m=2, k=6: seek 2*(6/3)*1 = 4; + R + T = 13.
+    assert no_prefetch_single_disk_block_ms(6, 2.0, DISK) == pytest.approx(13.0)
+
+
+def test_eq2_amortizes_seek_and_rotation():
+    # N=2 halves the positioning terms: 2 + 3 + 3 = 8.
+    assert intra_run_single_disk_block_ms(6, 2.0, 2, DISK) == pytest.approx(8.0)
+
+
+def test_eq3_divides_seek_by_d():
+    # D=2: seek 2; + 6 + 3 = 11.
+    assert no_prefetch_multi_disk_block_ms(6, 2.0, 2, DISK) == pytest.approx(11.0)
+
+
+def test_eq4_divides_seek_by_nd():
+    # N=2, D=2: seek 1; rotation 3; transfer 3 = 7.
+    assert intra_run_multi_disk_block_ms(6, 2.0, 2, 2, DISK) == pytest.approx(7.0)
+
+
+def test_equations_nest_consistently():
+    k, m = 10, 3.0
+    assert intra_run_multi_disk_block_ms(k, m, 1, 1, DISK) == pytest.approx(
+        no_prefetch_single_disk_block_ms(k, m, DISK)
+    )
+    assert intra_run_multi_disk_block_ms(k, m, 4, 1, DISK) == pytest.approx(
+        intra_run_single_disk_block_ms(k, m, 4, DISK)
+    )
+    assert intra_run_multi_disk_block_ms(k, m, 1, 3, DISK) == pytest.approx(
+        no_prefetch_multi_disk_block_ms(k, m, 3, DISK)
+    )
+
+
+def test_total_time_unit_conversion():
+    # 2 ms per block, 10 runs of 1000 blocks: 20 seconds.
+    assert total_time_s(2.0, 10) == pytest.approx(20.0)
+    assert total_time_s(2.0, 10, blocks_per_run=500) == pytest.approx(10.0)
+
+
+def test_seek_term_scales_with_run_length():
+    short = no_prefetch_single_disk_block_ms(10, 1.0, DISK)
+    long = no_prefetch_single_disk_block_ms(10, 2.0, DISK)
+    assert long - short == pytest.approx(10 / 3)  # extra m * k/3 * S
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_invalid_arguments(bad):
+    with pytest.raises(ValueError):
+        intra_run_single_disk_block_ms(5, 1.0, bad, DISK)
+    with pytest.raises(ValueError):
+        no_prefetch_multi_disk_block_ms(5, 1.0, bad, DISK)
+    with pytest.raises(ValueError):
+        intra_run_multi_disk_block_ms(5, 1.0, 1, bad, DISK)

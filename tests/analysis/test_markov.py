@@ -1,0 +1,138 @@
+"""Tests for the Markov-chain policy analysis."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.markov import (
+    _transitions,
+    average_parallelism,
+    enumerate_states,
+    policy_comparison,
+    solve_stationary,
+)
+from repro.core.parameters import CachePolicy
+
+
+def test_enumerate_states_small():
+    states = enumerate_states(2, 3)
+    assert set(states) == {(1, 1), (2, 1)}
+
+
+def test_enumerate_states_canonical_and_bounded():
+    states = enumerate_states(3, 7)
+    for state in states:
+        assert state == tuple(sorted(state, reverse=True))
+        assert all(c >= 1 for c in state)
+        assert sum(state) <= 7
+
+
+def test_enumerate_invalid_rejected():
+    with pytest.raises(ValueError):
+        enumerate_states(0, 5)
+    with pytest.raises(ValueError):
+        enumerate_states(3, 2)
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy))
+def test_transitions_are_distributions(policy):
+    for state in enumerate_states(3, 8):
+        transitions = _transitions(state, 3, 8, policy)
+        assert sum(transitions.values()) == 1
+        for successor in transitions:
+            assert all(c >= 1 for c in successor)
+            assert sum(successor) <= 8
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy))
+def test_stationary_distribution_sums_to_one(policy):
+    stationary = solve_stationary(3, 9, policy)
+    assert sum(stationary.values()) == pytest.approx(1.0)
+    assert all(p >= -1e-12 for p in stationary.values())
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy))
+def test_parallelism_within_bounds(policy):
+    for capacity in (4, 8, 14):
+        result = average_parallelism(4, capacity, policy)
+        assert 1.0 <= result.average_parallelism <= 4.0 + 1e-9
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy))
+def test_parallelism_increases_with_cache(policy):
+    values = [
+        average_parallelism(4, c, policy).average_parallelism
+        for c in (6, 10, 16, 24)
+    ]
+    assert values == sorted(values)
+
+
+def test_policies_agree_at_minimum_and_converge_at_large_cache():
+    # At C = D there is never room to prefetch: both degenerate to 1.
+    for policy in CachePolicy:
+        assert average_parallelism(3, 3, policy).average_parallelism == (
+            pytest.approx(1.0)
+        )
+    # At large C both approach D (slowly: the chain drifts to the cache
+    # boundary, so a finite cache always mixes in some partial fetches).
+    cons = average_parallelism(3, 40, CachePolicy.CONSERVATIVE)
+    greedy = average_parallelism(3, 40, CachePolicy.GREEDY)
+    assert cons.average_parallelism == pytest.approx(3.0, abs=0.2)
+    assert greedy.average_parallelism == pytest.approx(
+        cons.average_parallelism, rel=0.02
+    )
+
+
+def test_parallelism_equals_inverse_fetch_rate():
+    """Steady-state balance: one block depleted per step means one block
+    fetched per step, so E[parallelism | fetch] = 1 / P(fetch)."""
+    for policy in CachePolicy:
+        result = average_parallelism(4, 10, policy)
+        assert result.average_parallelism == pytest.approx(
+            1.0 / result.fetch_rate, rel=1e-6
+        )
+
+
+def test_policy_comparison_rows():
+    rows = policy_comparison(3, [3, 6, 9])
+    assert [row["capacity"] for row in rows] == [3, 6, 9]
+    for row in rows:
+        assert row["advantage"] == pytest.approx(
+            row["conservative"] - row["greedy"]
+        )
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy))
+def test_chain_matches_monte_carlo(policy):
+    """Simulate the synchronous model directly and compare."""
+    d, capacity = 3, 8
+    rng = random.Random(99)
+    counts = [2, 2, 2]
+    fetch_events = 0
+    parallelism_total = 0
+    steps = 200_000
+    for _ in range(steps):
+        j = rng.randrange(d)
+        counts[j] -= 1
+        if counts[j] == 0:
+            fetch_events += 1
+            free = capacity - sum(counts)
+            if policy is CachePolicy.CONSERVATIVE:
+                if free >= d:
+                    counts = [c + 1 for c in counts]
+                    parallelism_total += d
+                else:
+                    counts[j] = 1
+                    parallelism_total += 1
+            else:
+                counts[j] = 1
+                budget = min(d - 1, free - 1)
+                others = [i for i in range(d) if i != j]
+                rng.shuffle(others)
+                for i in others[:budget]:
+                    counts[i] += 1
+                parallelism_total += 1 + max(0, budget)
+    empirical = parallelism_total / fetch_events
+    expected = average_parallelism(d, capacity, policy).average_parallelism
+    assert empirical == pytest.approx(expected, rel=0.02)

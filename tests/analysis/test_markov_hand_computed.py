@@ -1,0 +1,67 @@
+"""The D=2 Markov chain, solved by hand, against the implementation.
+
+With D=2 disks (one run each, N=1) and a 3-block cache the chain has
+two canonical states:
+
+* ``(1,1)``: a depletion always empties one run; one slot was just
+  freed so 2 blocks are free -- a full 2-parallel prefetch fires,
+  landing in ``(2,1)``.
+* ``(2,1)``: with probability 1/2 the 2-run is picked (no fetch,
+  back to ``(1,1)``); with probability 1/2 the 1-run is picked, only
+  1 block is free, the conservative demand-only fetch fires and the
+  state stays ``(2,1)``.
+
+Stationary distribution: pi(1,1) = 1/3, pi(2,1) = 2/3.  Fetch events
+occur at rate 1/3 * 1 + 2/3 * 1/2 = 2/3 per step, so the average
+parallelism is 1 / (2/3) = 1.5.
+"""
+
+import pytest
+
+from repro.analysis.markov import (
+    average_parallelism,
+    enumerate_states,
+    solve_stationary,
+)
+from repro.core.parameters import CachePolicy
+
+
+def test_state_space_is_two_states():
+    assert enumerate_states(2, 3) == [(1, 1), (2, 1)]
+
+
+def test_stationary_distribution_matches_hand_solution():
+    stationary = solve_stationary(2, 3, CachePolicy.CONSERVATIVE)
+    assert stationary[(1, 1)] == pytest.approx(1 / 3, abs=1e-9)
+    assert stationary[(2, 1)] == pytest.approx(2 / 3, abs=1e-9)
+
+
+def test_average_parallelism_is_1_5():
+    result = average_parallelism(2, 3, CachePolicy.CONSERVATIVE)
+    assert result.average_parallelism == pytest.approx(1.5, abs=1e-9)
+    assert result.fetch_rate == pytest.approx(2 / 3, abs=1e-9)
+    assert result.num_states == 2
+
+
+def test_greedy_is_identical_here():
+    """With C=3 and D=2, greedy's budget after the demand block is 0 in
+    the constrained state -- the policies coincide exactly."""
+    conservative = average_parallelism(2, 3, CachePolicy.CONSERVATIVE)
+    greedy = average_parallelism(2, 3, CachePolicy.GREEDY)
+    assert greedy.average_parallelism == pytest.approx(
+        conservative.average_parallelism, abs=1e-9
+    )
+
+
+def test_capacity_4_hand_solution():
+    """C=4: states (1,1), (2,1), (2,2), (3,1).
+
+    From (1,1): free=3>=2 after depletion, full prefetch -> (2,1)... but
+    counts (0,1)+1 each = (1,2) -> canonical (2,1).  From (2,2) and
+    (3,1) similar transitions; the implementation's stationary solution
+    must satisfy the balance equations, checked here via parallelism
+    bounds rather than a full hand inversion.
+    """
+    result = average_parallelism(2, 4, CachePolicy.CONSERVATIVE)
+    # More cache than C=3 must raise parallelism, bounded by D=2.
+    assert 1.5 < result.average_parallelism < 2.0

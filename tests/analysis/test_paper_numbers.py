@@ -1,0 +1,144 @@
+"""Pin every analytic number the paper prints.
+
+These tests encode the calibration in DESIGN.md: with the reconstructed
+constants (S=0.03 ms/cyl, R=8.33 ms, T=2.05 ms, m=15.625 cyl/run, 1000
+blocks/run) each closed form evaluates to the value quoted in the
+paper's prose, at the paper's printed precision.
+"""
+
+import pytest
+
+from repro.analysis import interrun, iotime, urn_game
+from repro.analysis.seek_model import SeekDistanceModel
+from repro.core.parameters import PAPER_DISK
+
+M = 15.625  # cylinders per run
+
+
+def total(block_ms, k):
+    return iotime.total_time_s(block_ms, k)
+
+
+# ----------------------------------------------------------------------
+# Section 3.1: single disk
+# ----------------------------------------------------------------------
+
+def test_no_prefetch_tau_k25():
+    tau = iotime.no_prefetch_single_disk_block_ms(25, M, PAPER_DISK)
+    assert tau == pytest.approx(14.29, abs=0.01)
+
+
+def test_no_prefetch_tau_k50():
+    tau = iotime.no_prefetch_single_disk_block_ms(50, M, PAPER_DISK)
+    assert tau == pytest.approx(18.19, abs=0.01)
+
+
+def test_no_prefetch_total_k25_is_357s():
+    tau = iotime.no_prefetch_single_disk_block_ms(25, M, PAPER_DISK)
+    assert total(tau, 25) == pytest.approx(357.2, abs=0.5)
+
+
+def test_no_prefetch_total_k50_is_910s():
+    tau = iotime.no_prefetch_single_disk_block_ms(50, M, PAPER_DISK)
+    assert total(tau, 50) == pytest.approx(910.0, abs=1.0)
+
+
+def test_intra_run_n10_k25_is_81_8s():
+    tau = iotime.intra_run_single_disk_block_ms(25, M, 10, PAPER_DISK)
+    assert total(tau, 25) == pytest.approx(81.8, abs=0.2)
+
+
+def test_intra_run_n10_k50_is_183_2s():
+    tau = iotime.intra_run_single_disk_block_ms(50, M, 10, PAPER_DISK)
+    assert total(tau, 50) == pytest.approx(183.2, abs=0.2)
+
+
+def test_intra_run_n30_estimates():
+    k25 = total(iotime.intra_run_single_disk_block_ms(25, M, 30, PAPER_DISK), 25)
+    k50 = total(iotime.intra_run_single_disk_block_ms(50, M, 30, PAPER_DISK), 50)
+    assert k25 == pytest.approx(61.4, abs=0.3)
+    assert k50 == pytest.approx(129.4, abs=0.5)
+
+
+def test_single_disk_lower_bounds():
+    assert interrun.lower_bound_total_s(25, 1, PAPER_DISK) == pytest.approx(51.25)
+    assert interrun.lower_bound_total_s(50, 1, PAPER_DISK) == pytest.approx(102.5)
+
+
+# ----------------------------------------------------------------------
+# Section 3.2: multiple disks
+# ----------------------------------------------------------------------
+
+def test_no_prefetch_multi_disk_k25_d5_is_279s():
+    tau = iotime.no_prefetch_multi_disk_block_ms(25, M, 5, PAPER_DISK)
+    assert total(tau, 25) == pytest.approx(279.0, abs=0.5)
+
+
+def test_no_prefetch_multi_disk_k50_d10_is_558s():
+    tau = iotime.no_prefetch_multi_disk_block_ms(50, M, 10, PAPER_DISK)
+    assert total(tau, 50) == pytest.approx(558.1, abs=0.5)
+
+
+def test_sync_intra_run_k25_d5_n30_is_58_9s():
+    """Quoted when deriving the 23.4s unsynchronized asymptote."""
+    tau = iotime.intra_run_multi_disk_block_ms(25, M, 30, 5, PAPER_DISK)
+    assert total(tau, 25) == pytest.approx(58.85, abs=0.2)
+
+
+def test_urn_game_overlaps():
+    assert urn_game.expected_concurrency(5) == pytest.approx(2.51, abs=0.01)
+    assert urn_game.expected_concurrency(10) == pytest.approx(3.66, abs=0.01)
+    assert urn_game.expected_concurrency(25) == pytest.approx(5.92, abs=0.05)
+
+
+def test_urn_game_closed_form_tracks_exact():
+    for d in (5, 10, 25, 100):
+        exact = urn_game.expected_concurrency(d)
+        closed = urn_game.expected_concurrency_closed_form(d)
+        assert closed == pytest.approx(exact, rel=0.05)
+
+
+def test_unsync_intra_run_asymptote_k25_d5_is_23_4s():
+    sync = total(iotime.intra_run_multi_disk_block_ms(25, M, 30, 5, PAPER_DISK), 25)
+    unsync = urn_game.unsynchronized_intra_run_total_s(sync, 5)
+    assert unsync == pytest.approx(23.4, abs=0.2)
+
+
+def test_unsync_intra_run_asymptote_k50_d10_is_32_2s():
+    sync = total(iotime.intra_run_multi_disk_block_ms(50, M, 30, 10, PAPER_DISK), 50)
+    assert sync == pytest.approx(117.7, abs=0.4)
+    unsync = urn_game.unsynchronized_intra_run_total_s(sync, 10)
+    assert unsync == pytest.approx(32.2, abs=0.2)
+
+
+def test_inter_run_sync_tau_is_0_703ms():
+    tau = interrun.inter_run_sync_block_ms(25, M, 10, 5, PAPER_DISK)
+    assert tau == pytest.approx(0.703, abs=0.002)
+
+
+def test_inter_run_sync_total_is_17_6s():
+    assert interrun.inter_run_sync_total_s(25, M, 10, 5, PAPER_DISK) == (
+        pytest.approx(17.6, abs=0.1)
+    )
+
+
+def test_multi_disk_lower_bounds():
+    assert interrun.lower_bound_total_s(25, 5, PAPER_DISK) == pytest.approx(10.25)
+    assert interrun.lower_bound_total_s(50, 5, PAPER_DISK) == pytest.approx(20.5)
+    assert interrun.lower_bound_total_s(50, 10, PAPER_DISK) == pytest.approx(10.25)
+
+
+# ----------------------------------------------------------------------
+# The seek model behind everything
+# ----------------------------------------------------------------------
+
+def test_seek_expected_moves_approximation():
+    for k in (25, 50, 100):
+        model = SeekDistanceModel(k)
+        assert model.expected_moves() == pytest.approx(k / 3, rel=0.002)
+
+
+def test_paper_data_sizes():
+    """1.6M records for k=25, 3.2M for k=50 (64 records x 1000 blocks)."""
+    assert 25 * 1000 * 64 == 1_600_000
+    assert 50 * 1000 * 64 == 3_200_000

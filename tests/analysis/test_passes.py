@@ -1,0 +1,116 @@
+"""Tests for multi-pass merge planning and whole-sort costing."""
+
+import pytest
+
+from repro.analysis.passes import (
+    estimate_sort_time_s,
+    fan_in_for_cache,
+    plan_passes,
+)
+from repro.core.parameters import PAPER_DISK
+
+
+def test_single_pass_when_runs_fit():
+    plan = plan_passes(10, 16)
+    assert plan.num_passes == 1
+    assert plan.passes[0].runs_in == 10
+    assert plan.passes[0].runs_out == 1
+    assert plan.passes[0].fan_in == 10
+
+
+def test_two_passes():
+    plan = plan_passes(20, 5)
+    assert plan.num_passes == 2
+    assert plan.passes[0].runs_out == 4
+    assert plan.passes[1].fan_in == 4
+
+
+def test_logarithmic_pass_count():
+    plan = plan_passes(1000, 10)
+    assert plan.num_passes == 3  # 1000 -> 100 -> 10 -> 1
+
+
+def test_single_run_needs_no_pass():
+    assert plan_passes(1, 2).num_passes == 0
+
+
+def test_pass_structure_consistent():
+    plan = plan_passes(37, 4)
+    runs = 37
+    for merge_pass in plan.passes:
+        assert merge_pass.runs_in == runs
+        assert merge_pass.runs_out == -(-runs // 4)
+        runs = merge_pass.runs_out
+    assert runs == 1
+
+
+def test_plan_invalid_arguments():
+    with pytest.raises(ValueError):
+        plan_passes(0, 4)
+    with pytest.raises(ValueError):
+        plan_passes(10, 1)
+
+
+def test_fan_in_for_cache():
+    assert fan_in_for_cache(250, 10) == 25
+    assert fan_in_for_cache(250, 1) == 250
+    assert fan_in_for_cache(5, 10) == 1
+    with pytest.raises(ValueError):
+        fan_in_for_cache(0, 1)
+
+
+def test_single_pass_estimate_matches_eq4():
+    from repro.analysis.iotime import intra_run_multi_disk_block_ms
+
+    plan, total = estimate_sort_time_s(
+        initial_runs=25,
+        blocks_per_run=1000,
+        cache_blocks=250,
+        prefetch_depth=10,
+        num_disks=5,
+        disk=PAPER_DISK,
+    )
+    assert plan.num_passes == 1
+    expected = (
+        intra_run_multi_disk_block_ms(25, 15.625, 10, 5, PAPER_DISK) * 25
+    )
+    assert total == pytest.approx(expected)
+
+
+def test_more_passes_cost_more():
+    small_cache = estimate_sort_time_s(
+        initial_runs=100, blocks_per_run=100, cache_blocks=50,
+        prefetch_depth=10, num_disks=5, disk=PAPER_DISK,
+    )
+    big_cache = estimate_sort_time_s(
+        initial_runs=100, blocks_per_run=100, cache_blocks=1000,
+        prefetch_depth=10, num_disks=5, disk=PAPER_DISK,
+    )
+    assert small_cache[0].num_passes > big_cache[0].num_passes
+    assert small_cache[1] > big_cache[1]
+
+
+def test_depth_vs_passes_tradeoff():
+    """The classic tension: deeper prefetching cuts per-pass time but a
+    fixed cache then supports a smaller fan-in, possibly adding passes."""
+    shallow = estimate_sort_time_s(
+        initial_runs=64, blocks_per_run=100, cache_blocks=64,
+        prefetch_depth=1, num_disks=1, disk=PAPER_DISK,
+    )
+    deep = estimate_sort_time_s(
+        initial_runs=64, blocks_per_run=100, cache_blocks=64,
+        prefetch_depth=8, num_disks=1, disk=PAPER_DISK,
+    )
+    assert shallow[0].num_passes == 1
+    assert deep[0].num_passes == 2
+    # Here two cheap passes beat one expensive one: at N=1 every block
+    # pays the full rotational latency.
+    assert deep[1] < shallow[1]
+
+
+def test_insufficient_cache_rejected():
+    with pytest.raises(ValueError, match="cannot support"):
+        estimate_sort_time_s(
+            initial_runs=10, blocks_per_run=100, cache_blocks=5,
+            prefetch_depth=10, num_disks=1, disk=PAPER_DISK,
+        )

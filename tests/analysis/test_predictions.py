@@ -1,0 +1,100 @@
+"""Tests for the unified predict() front-end."""
+
+import pytest
+
+from repro.analysis.predictions import Prediction, PredictionQuality, predict
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+
+
+def config(**kwargs):
+    defaults = dict(num_runs=25, num_disks=5)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def test_no_prefetch_single_disk():
+    p = predict(config(num_disks=1, strategy=PrefetchStrategy.NONE))
+    assert p.quality is PredictionQuality.EXACT_MODEL
+    assert p.total_s == pytest.approx(357.2, abs=0.5)
+    assert "eq(1)" in p.formula
+
+
+def test_no_prefetch_multi_disk():
+    p = predict(config(strategy=PrefetchStrategy.NONE))
+    assert p.total_s == pytest.approx(279.0, abs=0.5)
+    assert "eq(3)" in p.formula
+
+
+def test_intra_run_single_disk():
+    p = predict(
+        config(num_disks=1, strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=10)
+    )
+    assert p.total_s == pytest.approx(81.8, abs=0.2)
+    assert "eq(2)" in p.formula
+
+
+def test_intra_run_multi_disk_sync():
+    p = predict(
+        config(
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=30,
+            synchronized=True,
+        )
+    )
+    assert p.quality is PredictionQuality.EXACT_MODEL
+    assert p.total_s == pytest.approx(58.85, abs=0.2)
+
+
+def test_intra_run_multi_disk_unsync_divides_by_urn_concurrency():
+    sync = predict(
+        config(
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=30,
+            synchronized=True,
+        )
+    )
+    unsync = predict(
+        config(strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=30)
+    )
+    assert unsync.quality is PredictionQuality.ASYMPTOTIC
+    assert unsync.total_s == pytest.approx(sync.total_s / 2.51, rel=0.005)
+
+
+def test_inter_run_sync():
+    p = predict(
+        config(
+            strategy=PrefetchStrategy.INTER_RUN,
+            prefetch_depth=10,
+            cache_capacity=1200,
+            synchronized=True,
+        )
+    )
+    assert p.total_s == pytest.approx(17.6, abs=0.1)
+    assert p.quality is PredictionQuality.ASYMPTOTIC
+
+
+def test_inter_run_unsync_gives_lower_bound():
+    p = predict(
+        config(strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=10)
+    )
+    assert p.quality is PredictionQuality.LOWER_BOUND
+    assert p.total_s == pytest.approx(10.25)
+
+
+def test_finite_cpu_has_no_closed_form():
+    with pytest.raises(ValueError):
+        predict(config(cpu_ms_per_block=0.5))
+
+
+def test_prediction_scales_with_blocks_per_run():
+    full = predict(config(strategy=PrefetchStrategy.NONE))
+    # m shrinks with the run, so the seek term shrinks too: the scaled
+    # total must be strictly less than a pro-rata share.
+    scaled = predict(config(strategy=PrefetchStrategy.NONE, blocks_per_run=500))
+    assert scaled.total_s < full.total_s / 2 + 1e-9
+
+
+def test_repr_is_informative():
+    p = predict(config(strategy=PrefetchStrategy.NONE))
+    text = repr(p)
+    assert "279" in text and "exact-model" in text

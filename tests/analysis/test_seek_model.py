@@ -1,0 +1,80 @@
+"""Tests for the seek-distance distribution."""
+
+import pytest
+
+from repro.analysis.seek_model import SeekDistanceModel, per_disk_model
+
+
+def test_pmf_at_zero():
+    model = SeekDistanceModel(25)
+    assert model.pmf(0) == pytest.approx(1 / 25)
+
+
+def test_pmf_formula():
+    model = SeekDistanceModel(10)
+    for i in range(1, 10):
+        assert model.pmf(i) == pytest.approx(2 * (10 - i) / 100)
+
+
+def test_pmf_outside_support_is_zero():
+    model = SeekDistanceModel(5)
+    assert model.pmf(-1) == 0.0
+    assert model.pmf(5) == 0.0
+    assert model.pmf(100) == 0.0
+
+
+def test_pmf_sums_to_one():
+    for k in (1, 2, 5, 25, 50, 100):
+        model = SeekDistanceModel(k)
+        assert sum(model.pmf(i) for i in model.support()) == pytest.approx(1.0)
+
+
+def test_expected_moves_matches_pmf():
+    for k in (2, 5, 25, 50):
+        model = SeekDistanceModel(k)
+        from_pmf = sum(i * model.pmf(i) for i in model.support())
+        assert model.expected_moves() == pytest.approx(from_pmf)
+
+
+def test_expected_moves_exact_formula():
+    model = SeekDistanceModel(25)
+    assert model.expected_moves() == pytest.approx((25**2 - 1) / (3 * 25))
+
+
+def test_k_over_3_approximation_error_shrinks():
+    small = SeekDistanceModel(5)
+    large = SeekDistanceModel(100)
+    small_err = abs(small.expected_moves() - small.expected_moves_approx())
+    large_err = abs(large.expected_moves() - large.expected_moves_approx())
+    # Absolute error is 1/(3k): decreasing in k.
+    assert large_err < small_err
+    assert small_err == pytest.approx(1 / 15)
+
+
+def test_single_run_never_moves():
+    model = SeekDistanceModel(1)
+    assert model.expected_moves() == 0.0
+    assert model.pmf(0) == 1.0
+
+
+def test_variance_positive_and_finite():
+    model = SeekDistanceModel(25)
+    assert 0 < model.variance() < 25**2
+
+
+def test_expected_seek_ms():
+    model = SeekDistanceModel(25)
+    # m=15.625, S=0.03: 15.625 * 25/3 * 0.03 = 3.906 ms.
+    assert model.expected_seek_ms(15.625, 0.03) == pytest.approx(3.906, abs=0.001)
+
+
+def test_per_disk_model_divides_runs():
+    assert per_disk_model(25, 5).num_runs == 5
+    assert per_disk_model(50, 10).num_runs == 5
+    # Ceiling for non-multiples, as the paper specifies.
+    assert per_disk_model(26, 5).num_runs == 6
+
+
+def test_invalid_runs_rejected():
+    with pytest.raises(ValueError):
+        SeekDistanceModel(0)

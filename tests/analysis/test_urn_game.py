@@ -1,0 +1,105 @@
+"""Tests for the urn-game concurrency model."""
+
+import math
+
+import pytest
+
+from repro.analysis.urn_game import (
+    expected_concurrency,
+    expected_concurrency_closed_form,
+    round_length_pmf,
+    survival_probabilities,
+)
+
+
+def test_survival_starts_at_one():
+    assert survival_probabilities(5)[0] == 1.0
+
+
+def test_survival_recursion():
+    d = 5
+    q = survival_probabilities(d)
+    for j in range(2, d + 1):
+        assert q[j - 1] == pytest.approx(q[j - 2] * (d - j + 1) / d)
+
+
+def test_survival_monotone_decreasing():
+    q = survival_probabilities(10)
+    assert all(q[i] >= q[i + 1] for i in range(len(q) - 1))
+
+
+def test_pmf_sums_to_one():
+    for d in (1, 2, 5, 10, 25):
+        assert sum(round_length_pmf(d)) == pytest.approx(1.0)
+
+
+def test_pmf_matches_survival_differences():
+    d = 7
+    q = survival_probabilities(d) + [0.0]
+    pmf = round_length_pmf(d)
+    for j in range(d):
+        assert pmf[j] == pytest.approx(q[j] - q[j + 1])
+
+
+def test_expected_concurrency_equals_pmf_mean():
+    for d in (2, 5, 10):
+        pmf = round_length_pmf(d)
+        mean = sum((j + 1) * p for j, p in enumerate(pmf))
+        assert expected_concurrency(d) == pytest.approx(mean)
+
+
+def test_single_disk_concurrency_is_one():
+    assert expected_concurrency(1) == 1.0
+
+
+def test_two_disks():
+    # Q1=1, Q2=1/2: E = 1.5.
+    assert expected_concurrency(2) == pytest.approx(1.5)
+
+
+def test_concurrency_grows_like_sqrt_d():
+    """The paper's headline: only O(sqrt(D)), far below D."""
+    for d in (4, 16, 64, 256):
+        expected = expected_concurrency(d)
+        ratio = expected / math.sqrt(d)
+        assert 0.8 < ratio < 1.4
+    # Far below the ideal D for any sizable array.
+    assert expected_concurrency(16) < 8
+    assert expected_concurrency(64) < 16
+
+
+def test_closed_form_error_vanishes():
+    errors = [
+        abs(expected_concurrency(d) - expected_concurrency_closed_form(d))
+        for d in (10, 100, 1000)
+    ]
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_invalid_d_rejected():
+    with pytest.raises(ValueError):
+        survival_probabilities(0)
+    with pytest.raises(ValueError):
+        expected_concurrency_closed_form(0)
+
+
+def test_monte_carlo_agreement():
+    """Simulate the game directly and compare with the formula."""
+    import random
+
+    rng = random.Random(12345)
+    d = 6
+    rounds = 20_000
+    total = 0
+    for _ in range(rounds):
+        occupied = set()
+        while True:
+            urn = rng.randrange(d)
+            if urn in occupied:
+                break
+            occupied.add(urn)
+            if len(occupied) == d:
+                break
+        total += len(occupied)
+    empirical = total / rounds
+    assert empirical == pytest.approx(expected_concurrency(d), rel=0.02)

@@ -1,0 +1,70 @@
+"""Tests for the confidence-interval support on aggregates."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import Aggregate, _t_critical
+
+
+def test_interval_contains_mean():
+    agg = Aggregate.of([10.0, 11.0, 9.0, 10.5, 9.5])
+    low, high = agg.confidence_interval()
+    assert low < agg.mean < high
+
+
+def test_interval_width_uses_t_distribution():
+    agg = Aggregate.of([10.0, 12.0])
+    low, high = agg.confidence_interval()
+    # n=2: t(1)=12.706, std=sqrt(2), half-width = 12.706*sqrt(2)/sqrt(2).
+    assert high - low == pytest.approx(2 * 12.706, rel=1e-6)
+
+
+def test_more_trials_tighten_the_interval():
+    narrow = Aggregate.of([10.0, 10.5] * 10)
+    wide = Aggregate.of([10.0, 10.5])
+    assert (narrow.confidence_interval()[1] - narrow.confidence_interval()[0]) < (
+        wide.confidence_interval()[1] - wide.confidence_interval()[0]
+    )
+
+
+def test_single_value_degenerates_to_point():
+    agg = Aggregate.of([42.0])
+    assert agg.confidence_interval() == (42.0, 42.0)
+
+
+def test_empty_is_nan():
+    low, high = Aggregate.of([]).confidence_interval()
+    assert math.isnan(low) and math.isnan(high)
+
+
+def test_zero_variance_gives_point_interval():
+    agg = Aggregate.of([5.0, 5.0, 5.0])
+    assert agg.confidence_interval() == (5.0, 5.0)
+
+
+def test_t_critical_table():
+    assert _t_critical(1) == pytest.approx(12.706)
+    assert _t_critical(4) == pytest.approx(2.776)
+    # Between table entries: use the nearest smaller (conservative).
+    assert _t_critical(11) == pytest.approx(2.228)
+    # Large samples: normal value.
+    assert _t_critical(100) == pytest.approx(1.960)
+    assert math.isnan(_t_critical(0))
+
+
+def test_simulation_interval_covers_rerun(tmp_path):
+    """The 95% CI from 5 trials should cover a fresh trial's result for
+    a low-variance configuration."""
+    from repro.core.parameters import PrefetchStrategy, SimulationConfig
+    from repro.core.simulator import MergeSimulation
+
+    config = SimulationConfig(
+        num_runs=8, num_disks=2, strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4, blocks_per_run=60, trials=5,
+    )
+    result = MergeSimulation(config).run()
+    low, high = result.total_time_s.confidence_interval()
+    fresh = MergeSimulation(config).run_trial(trial=99).total_time_s
+    margin = (high - low) * 1.5 + 0.05
+    assert low - margin <= fresh <= high + margin

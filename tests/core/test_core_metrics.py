@@ -1,0 +1,84 @@
+"""Tests for the concurrency tracker and metric helpers."""
+
+import pytest
+
+from repro.core.metrics import ConcurrencyTracker
+from repro.sim import Simulator
+
+
+def test_tracker_starts_idle():
+    sim = Simulator()
+    tracker = ConcurrencyTracker(sim, num_disks=3)
+    assert tracker.average_concurrency() == 0.0
+    assert tracker.busy_fraction() == 0.0
+
+
+def test_single_disk_busy_interval():
+    sim = Simulator()
+    tracker = ConcurrencyTracker(sim, num_disks=2)
+
+    def body():
+        tracker.on_busy_change(0, True)
+        yield sim.timeout(10.0)
+        tracker.on_busy_change(0, False)
+        yield sim.timeout(10.0)
+
+    sim.process(body())
+    sim.run()
+    assert tracker.average_concurrency() == pytest.approx(1.0)
+    assert tracker.busy_fraction() == pytest.approx(0.5)
+    assert tracker.peak == 1
+
+
+def test_overlapping_disks_average():
+    sim = Simulator()
+    tracker = ConcurrencyTracker(sim, num_disks=2)
+
+    def body():
+        tracker.on_busy_change(0, True)
+        yield sim.timeout(5.0)
+        tracker.on_busy_change(1, True)
+        yield sim.timeout(5.0)
+        tracker.on_busy_change(0, False)
+        tracker.on_busy_change(1, False)
+
+    sim.process(body())
+    sim.run()
+    # 5ms at 1 busy + 5ms at 2 busy over 10ms active = 1.5 average.
+    assert tracker.average_concurrency() == pytest.approx(1.5)
+    assert tracker.peak == 2
+
+
+def test_duplicate_transitions_ignored():
+    sim = Simulator()
+    tracker = ConcurrencyTracker(sim, num_disks=1)
+    tracker.on_busy_change(0, True)
+    tracker.on_busy_change(0, True)
+    sim.timeout(2.0)
+    sim.run()
+    tracker.on_busy_change(0, False)
+    tracker.on_busy_change(0, False)
+    assert tracker.peak == 1
+    assert tracker.average_concurrency() == pytest.approx(1.0)
+
+
+def test_idle_gaps_excluded_from_average():
+    sim = Simulator()
+    tracker = ConcurrencyTracker(sim, num_disks=2)
+
+    def body():
+        tracker.on_busy_change(0, True)
+        yield sim.timeout(4.0)
+        tracker.on_busy_change(0, False)
+        yield sim.timeout(6.0)  # idle gap
+        tracker.on_busy_change(0, True)
+        tracker.on_busy_change(1, True)
+        yield sim.timeout(4.0)
+        tracker.on_busy_change(0, False)
+        tracker.on_busy_change(1, False)
+
+    sim.process(body())
+    sim.run()
+    # Active: 4ms at 1 + 4ms at 2 = average 1.5; idle 6ms excluded.
+    assert tracker.average_concurrency() == pytest.approx(1.5)
+    assert tracker.busy_fraction() == pytest.approx(8.0 / 14.0)

@@ -1,0 +1,125 @@
+"""Tests for configuration validation and derived quantities."""
+
+import pytest
+
+from repro.core.parameters import (
+    PAPER_DISK,
+    DiskParameters,
+    PrefetchStrategy,
+    SimulationConfig,
+)
+
+
+def test_paper_disk_constants():
+    assert PAPER_DISK.seek_ms_per_cylinder == pytest.approx(0.03)
+    assert PAPER_DISK.avg_rotational_latency_ms == pytest.approx(8.33)
+    assert PAPER_DISK.transfer_ms_per_block == pytest.approx(2.05)
+    assert PAPER_DISK.rotation_period_ms == pytest.approx(16.66)
+
+
+def test_invalid_disk_parameters():
+    with pytest.raises(ValueError):
+        DiskParameters(transfer_ms_per_block=0)
+    with pytest.raises(ValueError):
+        DiskParameters(seek_ms_per_cylinder=-0.1)
+    with pytest.raises(ValueError):
+        DiskParameters(avg_rotational_latency_ms=-1)
+
+
+def test_run_cylinders_is_m():
+    config = SimulationConfig(num_runs=25, num_disks=5)
+    assert config.run_cylinders == pytest.approx(15.625)
+
+
+def test_total_blocks():
+    config = SimulationConfig(num_runs=25, num_disks=5, blocks_per_run=1000)
+    assert config.total_blocks == 25_000
+
+
+def test_effective_depth_forced_to_one_without_prefetching():
+    config = SimulationConfig(
+        num_runs=5, num_disks=1, strategy=PrefetchStrategy.NONE, prefetch_depth=10
+    )
+    assert config.effective_depth == 1
+    assert config.resolved_cache_capacity == 5
+
+
+def test_intra_run_cache_defaults_to_kn():
+    config = SimulationConfig(
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=10,
+    )
+    assert config.resolved_cache_capacity == 250
+
+
+def test_inter_run_default_cache_is_generous():
+    config = SimulationConfig(
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+    )
+    assert config.resolved_cache_capacity == 25 * 10 * (1 + 5 / 2)
+
+
+def test_explicit_cache_respected():
+    config = SimulationConfig(
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        cache_capacity=400,
+    )
+    assert config.resolved_cache_capacity == 400
+
+
+def test_cache_below_initial_load_rejected():
+    with pytest.raises(ValueError):
+        SimulationConfig(
+            num_runs=25,
+            num_disks=5,
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=10,
+            cache_capacity=249,
+        )
+
+
+def test_initial_blocks_capped_by_run_length():
+    config = SimulationConfig(
+        num_runs=4,
+        num_disks=2,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=10,
+        blocks_per_run=3,
+    )
+    assert config.initial_blocks_per_run == 3
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_runs": 0, "num_disks": 1},
+        {"num_runs": 1, "num_disks": 0},
+        {"num_runs": 1, "num_disks": 1, "prefetch_depth": 0},
+        {"num_runs": 1, "num_disks": 1, "blocks_per_run": 0},
+        {"num_runs": 1, "num_disks": 1, "cpu_ms_per_block": -1.0},
+        {"num_runs": 1, "num_disks": 1, "trials": 0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        SimulationConfig(**kwargs)
+
+
+def test_describe_mentions_key_parameters():
+    config = SimulationConfig(
+        num_runs=25,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        synchronized=True,
+    )
+    text = config.describe()
+    assert "k=25" in text and "D=5" in text and "N=10" in text and "sync" in text

@@ -1,0 +1,83 @@
+"""Tests for the MergeSimulation public API and metric aggregation."""
+
+import pytest
+
+from repro.core.metrics import Aggregate
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation, simulate_merge
+
+
+def small_config(**kwargs):
+    defaults = dict(num_runs=4, num_disks=2, blocks_per_run=30, trials=3)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def test_run_aggregates_over_trials():
+    result = MergeSimulation(small_config()).run()
+    assert len(result.trials) == 3
+    assert result.total_time_s.count == 3
+    assert result.total_time_s.mean > 0
+
+
+def test_trials_use_distinct_seeds():
+    result = MergeSimulation(small_config()).run()
+    seeds = {trial.seed for trial in result.trials}
+    assert len(seeds) == 3
+
+
+def test_rerun_is_reproducible():
+    first = MergeSimulation(small_config()).run()
+    second = MergeSimulation(small_config()).run()
+    assert first.total_time_s.mean == second.total_time_s.mean
+
+
+def test_base_seed_changes_results():
+    first = MergeSimulation(small_config(base_seed=1)).run()
+    second = MergeSimulation(small_config(base_seed=2)).run()
+    assert first.total_time_s.mean != second.total_time_s.mean
+
+
+def test_simulate_merge_convenience():
+    result = simulate_merge(
+        4, 2, PrefetchStrategy.INTRA_RUN, 3, blocks_per_run=30, trials=2
+    )
+    assert result.total_time_s.count == 2
+
+
+def test_aggregate_statistics():
+    agg = Aggregate.of([1.0, 2.0, 3.0])
+    assert agg.mean == pytest.approx(2.0)
+    assert agg.std == pytest.approx(1.0)
+    assert agg.count == 3
+
+
+def test_aggregate_single_value_has_zero_std():
+    agg = Aggregate.of([5.0])
+    assert agg.std == 0.0
+
+
+def test_aggregate_empty_is_nan():
+    import math
+
+    agg = Aggregate.of([])
+    assert math.isnan(agg.mean)
+
+
+def test_aggregate_format():
+    agg = Aggregate.of([1.0, 2.0])
+    assert f"{agg:.2f}" == "1.50"
+    assert f"{agg}" == "1.50"
+    assert f"{agg:.0f}" == "2"
+
+
+def test_run_trial_accepts_external_depletion_source():
+    config = small_config(trials=1)
+    sequence = iter([0, 1, 2, 3] * 30)
+    metrics = MergeSimulation(config).run_trial(depletion_source=sequence)
+    assert metrics.blocks_depleted == 120
+
+
+def test_repr_mentions_configuration():
+    result = MergeSimulation(small_config()).run()
+    assert "k=4" in repr(result)

@@ -1,0 +1,221 @@
+"""Tests for fetch planners and victim selection."""
+
+import random
+
+import pytest
+
+from repro.core.cache import BlockCache
+from repro.core.parameters import CachePolicy, PrefetchStrategy, VictimSelector
+from repro.core.strategies import (
+    FetchGroup,
+    InterRunPlanner,
+    IntraRunPlanner,
+    NoPrefetchPlanner,
+    VictimChooser,
+    build_planner,
+)
+from repro.disks.layout import RunLayout
+from repro.sim import Simulator
+
+
+class View:
+    """Minimal SystemView for planner tests."""
+
+    def __init__(self, k=10, d=5, blocks_per_run=100, capacity=500,
+                 heads=None):
+        sim = Simulator()
+        self.layout = RunLayout(num_runs=k, num_disks=d,
+                                blocks_per_run=blocks_per_run)
+        self.cache = BlockCache(sim, capacity=capacity, runs=k,
+                                blocks_per_run=blocks_per_run)
+        self._heads = heads or {}
+
+    def head_cylinder(self, disk):
+        return self._heads.get(disk, 0)
+
+
+def chooser(selector=VictimSelector.RANDOM, seed=0):
+    return VictimChooser(selector, random.Random(seed))
+
+
+def test_no_prefetch_plans_single_demand_block():
+    plan = NoPrefetchPlanner().plan(View(), demand_run=3)
+    assert plan.groups == (FetchGroup(3, 1, demand=True),)
+    assert not plan.counts_as_decision
+
+
+def test_intra_run_plans_n_blocks():
+    plan = IntraRunPlanner(8).plan(View(), demand_run=2)
+    assert plan.groups == (FetchGroup(2, 8, demand=True),)
+    assert plan.total_blocks == 8
+
+
+def test_intra_run_clamps_to_remaining_blocks():
+    view = View(blocks_per_run=100)
+    view.cache.reserve(2, 97)  # only 3 blocks left on disk
+    plan = IntraRunPlanner(8).plan(view, demand_run=2)
+    assert plan.groups[0].count == 3
+
+
+def test_inter_run_full_plan_covers_every_disk():
+    view = View(k=10, d=5)
+    planner = InterRunPlanner(4, num_disks=5, policy=CachePolicy.CONSERVATIVE,
+                              chooser=chooser(), rng=random.Random(1))
+    plan = planner.plan(view, demand_run=0)
+    assert plan.full_prefetch and plan.counts_as_decision
+    assert len(plan.groups) == 5
+    assert plan.groups[0] == FetchGroup(0, 4, demand=True)
+    disks = {view.layout.disk_of_run(g.run) for g in plan.groups}
+    assert disks == {0, 1, 2, 3, 4}
+    assert plan.total_blocks == 20
+
+
+def test_inter_run_conservative_falls_back_to_demand_block():
+    view = View(k=10, d=5, capacity=19)  # < D*N = 20
+    planner = InterRunPlanner(4, num_disks=5, policy=CachePolicy.CONSERVATIVE,
+                              chooser=chooser(), rng=random.Random(1))
+    plan = planner.plan(view, demand_run=0)
+    assert not plan.full_prefetch and plan.counts_as_decision
+    assert plan.groups == (FetchGroup(0, 1, demand=True),)
+
+
+def test_inter_run_greedy_spends_available_space():
+    view = View(k=10, d=5, capacity=10)  # < D*N = 20 but room for partial
+    planner = InterRunPlanner(4, num_disks=5, policy=CachePolicy.GREEDY,
+                              chooser=chooser(), rng=random.Random(1))
+    plan = planner.plan(view, demand_run=0)
+    assert not plan.full_prefetch and plan.counts_as_decision
+    assert plan.groups[0].run == 0 and plan.groups[0].count == 4
+    assert plan.total_blocks == 10
+
+
+def test_inter_run_skips_exhausted_disks():
+    view = View(k=5, d=5, blocks_per_run=10, capacity=200)
+    # Exhaust every run on disk 1 (run 1 only).
+    view.cache.reserve(1, 10)
+    planner = InterRunPlanner(2, num_disks=5, policy=CachePolicy.CONSERVATIVE,
+                              chooser=chooser(), rng=random.Random(1))
+    plan = planner.plan(view, demand_run=0)
+    assert plan.full_prefetch  # decision-level: space was available
+    assert len(plan.groups) == 4  # disk 1 had nothing to prefetch
+    assert all(g.run != 1 for g in plan.groups)
+
+
+def test_inter_run_prefetch_group_clamped_to_disk_blocks():
+    view = View(k=5, d=5, blocks_per_run=10, capacity=200)
+    view.cache.reserve(1, 9)  # one block left
+    planner = InterRunPlanner(4, num_disks=5, policy=CachePolicy.CONSERVATIVE,
+                              chooser=chooser(), rng=random.Random(1))
+    plan = planner.plan(view, demand_run=0)
+    group_for_run_1 = [g for g in plan.groups if g.run == 1]
+    assert group_for_run_1 and group_for_run_1[0].count == 1
+
+
+def adaptive_planner(depth=4, d=5):
+    return InterRunPlanner(depth, num_disks=d, policy=CachePolicy.CONSERVATIVE,
+                           chooser=chooser(), rng=random.Random(1),
+                           adaptive=True)
+
+
+def test_adaptive_full_depth_when_cache_roomy():
+    view = View(k=10, d=5, capacity=500)
+    plan = adaptive_planner().plan(view, demand_run=0)
+    assert plan.full_prefetch
+    assert all(group.count == 4 for group in plan.groups)
+    assert len(plan.groups) == 5
+
+
+def test_adaptive_shrinks_depth_to_free_space():
+    view = View(k=10, d=5, capacity=100)
+    view.cache.reserve(0, 89)  # 11 free: depth' = 11 // 5 = 2
+    plan = adaptive_planner().plan(view, demand_run=1)
+    assert not plan.full_prefetch  # depth 2 < requested 4
+    assert plan.counts_as_decision
+    assert len(plan.groups) == 5
+    assert max(group.count for group in plan.groups) == 2
+
+
+def test_adaptive_falls_back_to_demand_block_when_starved():
+    view = View(k=10, d=5, capacity=100)
+    view.cache.reserve(0, 97)  # 3 free < D
+    plan = adaptive_planner().plan(view, demand_run=1)
+    assert plan.groups == (FetchGroup(1, 1, demand=True),)
+    assert not plan.full_prefetch
+
+
+def test_adaptive_merge_completes_and_beats_fixed_at_tight_cache():
+    from repro.core.parameters import PrefetchStrategy, SimulationConfig
+    from repro.core.simulator import MergeSimulation
+
+    base = dict(
+        num_runs=10, num_disks=5, strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=5, cache_capacity=60, blocks_per_run=60, trials=2,
+    )
+    fixed = MergeSimulation(SimulationConfig(**base)).run()
+    adaptive = MergeSimulation(
+        SimulationConfig(adaptive_depth=True, **base)
+    ).run()
+    assert adaptive.trials[0].blocks_depleted == 600
+    assert adaptive.total_time_s.mean <= fixed.total_time_s.mean
+
+
+def test_random_chooser_uses_rng():
+    view = View()
+    picks = {chooser(seed=s).choose(view, 1, [1, 6]) for s in range(20)}
+    assert picks == {1, 6}
+
+
+def test_nearest_head_chooser():
+    view = View(k=10, d=5, heads={1: 0})
+    # On disk 1 live runs 1 (slot 0, cylinder 0) and 6 (slot 1, cyl 1).
+    pick = chooser(VictimSelector.NEAREST_HEAD).choose(view, 1, [1, 6])
+    assert pick == 1
+    view_far = View(k=10, d=5, heads={1: 10})
+    pick = chooser(VictimSelector.NEAREST_HEAD).choose(view_far, 1, [1, 6])
+    assert pick == 6
+
+
+def test_round_robin_chooser_cycles():
+    view = View()
+    rr = chooser(VictimSelector.ROUND_ROBIN)
+    picks = [rr.choose(view, 1, [1, 6]) for _ in range(4)]
+    assert picks == [1, 6, 1, 6]
+
+
+def test_most_depleted_chooser_prefers_starved_run():
+    view = View(k=10, d=5, capacity=500)
+    view.cache.preload(1, 5)
+    view.cache.preload(6, 1)
+    pick = chooser(VictimSelector.MOST_DEPLETED).choose(view, 1, [1, 6])
+    assert pick == 6
+
+
+def test_chooser_requires_candidates():
+    with pytest.raises(ValueError):
+        chooser().choose(View(), 1, [])
+
+
+def test_build_planner_dispatch():
+    rng = random.Random(0)
+    assert isinstance(
+        build_planner(PrefetchStrategy.NONE, 1, 5, CachePolicy.CONSERVATIVE,
+                      VictimSelector.RANDOM, rng),
+        NoPrefetchPlanner,
+    )
+    assert isinstance(
+        build_planner(PrefetchStrategy.INTRA_RUN, 5, 5,
+                      CachePolicy.CONSERVATIVE, VictimSelector.RANDOM, rng),
+        IntraRunPlanner,
+    )
+    assert isinstance(
+        build_planner(PrefetchStrategy.INTER_RUN, 5, 5,
+                      CachePolicy.CONSERVATIVE, VictimSelector.RANDOM, rng),
+        InterRunPlanner,
+    )
+
+
+def test_fetch_group_validation():
+    with pytest.raises(ValueError):
+        FetchGroup(0, 0)
+    with pytest.raises(ValueError):
+        IntraRunPlanner(0)

@@ -1,0 +1,139 @@
+"""Tests for the write-traffic extension."""
+
+import pytest
+
+from repro.core.merge_sim import MergeTrial
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.writes import WriteSubsystem
+from repro.disks.geometry import PAPER_GEOMETRY
+from repro.core.parameters import DiskParameters
+from repro.sim import RandomStreams, Simulator
+
+
+def config(**kwargs):
+    defaults = dict(
+        num_runs=5,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=5,
+        blocks_per_run=50,
+        trials=1,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def run(cfg, seed=3):
+    return MergeTrial(cfg, seed=seed).run()
+
+
+def test_zero_write_disks_is_the_paper_model():
+    metrics = run(config(write_disks=0))
+    assert metrics.blocks_written == 0
+    assert metrics.write_stall_ms == 0.0
+
+
+def test_every_block_written_once():
+    metrics = run(config(write_disks=2))
+    assert metrics.blocks_written == 5 * 50
+
+
+def test_single_write_disk_makes_merge_write_bound():
+    cfg = config(write_disks=1)
+    metrics = run(cfg)
+    write_bound_ms = cfg.total_blocks * cfg.disk.transfer_ms_per_block
+    assert metrics.total_time_ms >= write_bound_ms
+    assert metrics.write_stall_ms > 0
+
+
+def test_more_write_disks_reduce_stalls():
+    few = run(config(write_disks=1))
+    many = run(config(write_disks=5))
+    assert many.write_stall_ms < few.write_stall_ms
+    assert many.total_time_ms < few.total_time_ms
+
+
+def test_large_write_array_approaches_ignored_model():
+    ignored = run(config(write_disks=0))
+    wide = run(config(write_disks=10))
+    assert wide.total_time_ms <= ignored.total_time_ms * 1.35
+    assert wide.total_time_ms >= ignored.total_time_ms  # never faster
+
+
+def test_total_time_includes_final_drain():
+    """The merge cannot finish before its last output block is durable:
+    total time must be at least any write disk's busy time."""
+    metrics = run(config(write_disks=2))
+    assert metrics.total_time_ms >= 50 * 5 / 2 * 2.05 - 1e-6
+
+
+def test_invalid_write_config_rejected():
+    with pytest.raises(ValueError):
+        config(write_disks=-1)
+    with pytest.raises(ValueError):
+        config(write_disks=1, write_buffer_blocks=0)
+
+
+def test_subsystem_round_robin_and_sequential_addresses():
+    sim = Simulator()
+    subsystem = WriteSubsystem(
+        sim,
+        num_disks=2,
+        parameters=DiskParameters(),
+        geometry=PAPER_GEOMETRY,
+        streams=RandomStreams(1),
+        buffer_blocks=4,
+    )
+    for _ in range(6):
+        subsystem.write_block()
+    sim.run()
+    assert subsystem.stats.blocks_written == 6
+    # Each disk received 3 sequential blocks.
+    assert subsystem._next_address == [3, 3]
+    for drive in subsystem.drives:
+        # Sequential streaming: everything after the first request on
+        # each disk skipped positioning.
+        assert drive.stats.sequential_requests == 2
+
+
+def test_subsystem_backpressure_event():
+    sim = Simulator()
+    subsystem = WriteSubsystem(
+        sim,
+        num_disks=1,
+        parameters=DiskParameters(),
+        geometry=PAPER_GEOMETRY,
+        streams=RandomStreams(1),
+        buffer_blocks=1,
+    )
+    assert subsystem.write_block() is None  # buffer has room
+    backpressure = subsystem.write_block()  # now over the buffer
+    assert backpressure is not None
+    assert subsystem.stats.stalls == 1
+    sim.run()
+    assert backpressure.fired
+
+
+def test_drain_event_none_when_idle():
+    sim = Simulator()
+    subsystem = WriteSubsystem(
+        sim,
+        num_disks=1,
+        parameters=DiskParameters(),
+        geometry=PAPER_GEOMETRY,
+        streams=RandomStreams(1),
+    )
+    assert subsystem.drain_event() is None
+    subsystem.write_block()
+    assert subsystem.drain_event() is not None
+
+
+def test_invalid_subsystem_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        WriteSubsystem(sim, num_disks=0, parameters=DiskParameters(),
+                       geometry=PAPER_GEOMETRY, streams=RandomStreams(1))
+    with pytest.raises(ValueError):
+        WriteSubsystem(sim, num_disks=1, parameters=DiskParameters(),
+                       geometry=PAPER_GEOMETRY, streams=RandomStreams(1),
+                       buffer_blocks=0)

@@ -1,0 +1,197 @@
+"""Tests for the SSTF queue discipline (FIFO is covered elsewhere)."""
+
+import pytest
+
+from repro.core.parameters import DiskParameters
+from repro.disks.drive import DiskDrive, QueueDiscipline
+from repro.disks.geometry import PAPER_GEOMETRY
+from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.sim import Simulator
+
+
+class FixedRotation:
+    def __init__(self, value):
+        self.value = value
+
+    def uniform(self, low, high):
+        return self.value
+
+
+PARAMS = DiskParameters(
+    seek_ms_per_cylinder=1.0,
+    avg_rotational_latency_ms=5.0,
+    transfer_ms_per_block=1.0,
+)
+
+
+def make_drive(sim, discipline):
+    return DiskDrive(
+        sim,
+        drive_id=0,
+        geometry=PAPER_GEOMETRY,
+        parameters=PARAMS,
+        rng=FixedRotation(2.0),
+        discipline=discipline,
+        address_of=lambda req: req.first_block,
+    )
+
+
+_RUN_COUNTER = iter(range(10_000))
+
+
+def submit(sim, drive, first_block, kind=FetchKind.PREFETCH, run=None):
+    """Queue a one-block request; distinct run per call by default so
+    SSTF is free to reorder (same-run requests are pinned to FIFO)."""
+    if run is None:
+        run = next(_RUN_COUNTER)
+    request = BlockFetchRequest(sim, run=run, first_block=first_block,
+                                count=1, kind=kind)
+    drive.submit(request)
+    return request
+
+
+def finish_order(requests):
+    return sorted(range(len(requests)), key=lambda i: requests[i].finish_time)
+
+
+def test_sstf_services_nearest_cylinder_first():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    # Busy the drive with a request at cylinder 0, then queue far/near.
+    head_holder = submit(sim, drive, 0)
+    far = submit(sim, drive, 64 * 100)  # cylinder 100
+    near = submit(sim, drive, 64 * 5)  # cylinder 5
+    sim.run()
+    assert finish_order([head_holder, far, near]) == [0, 2, 1]
+
+
+def test_fifo_ignores_proximity():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.FIFO)
+    first = submit(sim, drive, 0)
+    far = submit(sim, drive, 64 * 100)
+    near = submit(sim, drive, 64 * 5)
+    sim.run()
+    assert finish_order([first, far, near]) == [0, 1, 2]
+
+
+def test_sstf_demand_preempts_prefetches():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    holder = submit(sim, drive, 0)
+    requests = {}
+
+    def queue_contenders():
+        # While the holder is being serviced (it takes 3 ms), queue a
+        # nearby prefetch and a far demand fetch.
+        yield sim.timeout(1.0)
+        requests["near"] = submit(sim, drive, 64 * 1)
+        requests["demand"] = submit(sim, drive, 64 * 200, kind=FetchKind.DEMAND)
+
+    sim.process(queue_contenders())
+    sim.run()
+    # The demand request is served before the nearer prefetch.
+    order = finish_order([holder, requests["near"], requests["demand"]])
+    assert order == [0, 2, 1]
+
+
+def test_sstf_orders_multiple_demands_fifo():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    holder = submit(sim, drive, 0)
+    requests = {}
+
+    def queue_contenders():
+        yield sim.timeout(1.0)
+        requests["far"] = submit(sim, drive, 64 * 300, kind=FetchKind.DEMAND)
+        requests["near"] = submit(sim, drive, 64 * 2, kind=FetchKind.DEMAND)
+
+    sim.process(queue_contenders())
+    sim.run()
+    # Demands keep arrival order among themselves (no starvation).
+    order = finish_order([holder, requests["far"], requests["near"]])
+    assert order == [0, 1, 2]
+
+
+def test_sstf_reduces_total_seek_distance():
+    sim_fifo, sim_sstf = Simulator(), Simulator()
+    fifo = make_drive(sim_fifo, QueueDiscipline.FIFO)
+    sstf = make_drive(sim_sstf, QueueDiscipline.SSTF)
+    pattern = [0, 64 * 50, 64 * 1, 64 * 51, 64 * 2]
+    for block in pattern:
+        submit(sim_fifo, fifo, block)
+        submit(sim_sstf, sstf, block)
+    sim_fifo.run()
+    sim_sstf.run()
+    assert sstf.stats.seek_cylinders < fifo.stats.seek_cylinders
+
+
+def test_drive_goes_idle_and_wakes_for_late_request():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    early = submit(sim, drive, 0)
+
+    late_holder = {}
+
+    def body():
+        yield sim.timeout(100.0)
+        late_holder["request"] = submit(sim, drive, 64)
+
+    sim.process(body())
+    sim.run()
+    assert early.finish_time == pytest.approx(2.0 + 1.0)  # rot + transfer
+    late = late_holder["request"]
+    assert late.start_service_time == pytest.approx(100.0)
+
+
+def test_sstf_never_reorders_one_runs_requests():
+    """Regression: two prefetch groups for the same run must be serviced
+    in issue order even when the later one is closer to the head --
+    otherwise blocks arrive out of order and the cache rejects them."""
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    holder = submit(sim, drive, 64 * 10)  # parks the head at cylinder 10
+    first = submit(sim, drive, 64 * 100)  # run 0, far
+    second_request = BlockFetchRequest(
+        sim, run=0, first_block=64 * 100 + 1, count=1, kind=FetchKind.PREFETCH
+    )
+    drive.submit(second_request)
+    other_run = BlockFetchRequest(
+        sim, run=1, first_block=64 * 11, count=1, kind=FetchKind.PREFETCH
+    )
+    drive.submit(other_run)
+    sim.run()
+    # Run 0's two requests finish in issue order; run 1's near request
+    # may jump ahead of both.
+    assert first.finish_time < second_request.finish_time
+    assert other_run.finish_time < first.finish_time
+
+
+def test_sstf_inter_run_merge_completes():
+    """Regression: a full inter-run merge under SSTF (the configuration
+    that crashed the harness) runs to completion."""
+    from repro.core.merge_sim import MergeTrial
+    from repro.core.parameters import PrefetchStrategy, SimulationConfig
+
+    config = SimulationConfig(
+        num_runs=10,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=5,
+        blocks_per_run=60,
+        queue_discipline=QueueDiscipline.SSTF,
+        trials=1,
+    )
+    metrics = MergeTrial(config, seed=11).run()
+    assert metrics.blocks_depleted == 600
+
+
+def test_queue_length_tracks_pending():
+    sim = Simulator()
+    drive = make_drive(sim, QueueDiscipline.SSTF)
+    for block in (0, 64, 128):
+        submit(sim, drive, block)
+    assert drive.queue_length == 3
+    sim.run()
+    assert drive.queue_length == 0
+    assert drive.stats.max_queue_length == 3

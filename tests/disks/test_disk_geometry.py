@@ -1,0 +1,86 @@
+"""Tests for disk geometry and block addressing."""
+
+import pytest
+
+from repro.disks.geometry import (
+    PAPER_GEOMETRY,
+    PAPER_GEOMETRY_SECTOR_VIEW,
+    DiskGeometry,
+)
+
+
+def test_paper_geometry_has_64_blocks_per_cylinder():
+    assert PAPER_GEOMETRY.blocks_per_cylinder == 64
+
+
+def test_paper_geometry_cylinder_is_256_kib():
+    assert PAPER_GEOMETRY.bytes_per_cylinder == 256 * 1024
+
+
+def test_sector_view_matches_block_view():
+    """The 16x32x512 sector-level view and the 4x16x4096 block-level
+    view describe the same cylinder capacity."""
+    assert (
+        PAPER_GEOMETRY.bytes_per_cylinder
+        == PAPER_GEOMETRY_SECTOR_VIEW.bytes_per_cylinder
+    )
+    assert (
+        PAPER_GEOMETRY.blocks_per_cylinder
+        == PAPER_GEOMETRY_SECTOR_VIEW.blocks_per_cylinder
+    )
+
+
+def test_cylinder_of_block():
+    geometry = PAPER_GEOMETRY
+    assert geometry.cylinder_of(0) == 0
+    assert geometry.cylinder_of(63) == 0
+    assert geometry.cylinder_of(64) == 1
+    assert geometry.cylinder_of(999) == 15
+
+
+def test_run_spans_15_625_cylinders():
+    """A 1000-block run covers m = 15.625 cylinders."""
+    assert 1000 / PAPER_GEOMETRY.blocks_per_cylinder == pytest.approx(15.625)
+
+
+def test_seek_distance():
+    geometry = PAPER_GEOMETRY
+    assert geometry.seek_distance(0, 0) == 0
+    assert geometry.seek_distance(0, 64) == 1
+    assert geometry.seek_distance(640, 0) == 10
+    assert geometry.seek_distance(0, 640) == 10
+
+
+def test_block_address_out_of_range_rejected():
+    geometry = PAPER_GEOMETRY
+    with pytest.raises(ValueError):
+        geometry.cylinder_of(-1)
+    with pytest.raises(ValueError):
+        geometry.cylinder_of(geometry.capacity_blocks)
+
+
+def test_capacity():
+    assert PAPER_GEOMETRY.capacity_blocks == 64 * 825
+    assert PAPER_GEOMETRY.capacity_bytes == 256 * 1024 * 825
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=0)
+    with pytest.raises(ValueError):
+        DiskGeometry(sectors_per_track=-1)
+
+
+def test_non_divisible_block_size_rejected():
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=1, sectors_per_track=1, bytes_per_sector=512,
+                     block_bytes=4096)
+
+
+def test_custom_geometry():
+    geometry = DiskGeometry(
+        heads=2, sectors_per_track=8, cylinders=100,
+        bytes_per_sector=1024, block_bytes=2048,
+    )
+    assert geometry.blocks_per_cylinder == 8
+    assert geometry.capacity_blocks == 800

@@ -1,0 +1,93 @@
+"""Tests for run placement across the disk array."""
+
+import pytest
+
+from repro.disks.geometry import DiskGeometry
+from repro.disks.layout import RunLayout
+
+
+def layout(k=25, d=5, blocks=1000):
+    return RunLayout(num_runs=k, num_disks=d, blocks_per_run=blocks)
+
+
+def test_round_robin_assignment():
+    lay = layout()
+    assert lay.disk_of_run(0) == 0
+    assert lay.disk_of_run(4) == 4
+    assert lay.disk_of_run(5) == 0
+    assert lay.disk_of_run(24) == 4
+
+
+def test_each_disk_gets_equal_share():
+    lay = layout(k=25, d=5)
+    for disk in range(5):
+        assert len(lay.runs_on_disk(disk)) == 5
+
+
+def test_uneven_distribution_ceiling():
+    lay = layout(k=7, d=3)
+    assert lay.max_runs_per_disk == 3
+    sizes = [len(lay.runs_on_disk(d)) for d in range(3)]
+    assert sorted(sizes) == [2, 2, 3]
+
+
+def test_runs_contiguous_on_disk():
+    lay = layout()
+    # Run 0 is slot 0 of disk 0; run 5 is slot 1 of disk 0.
+    assert lay.slot_of_run(0) == 0
+    assert lay.slot_of_run(5) == 1
+    assert lay.block_address(0, 0) == 0
+    assert lay.block_address(0, 999) == 999
+    assert lay.block_address(5, 0) == 1000
+
+
+def test_block_addresses_never_overlap_on_a_disk():
+    lay = layout(k=10, d=2, blocks=100)
+    for disk in range(2):
+        seen = set()
+        for run in lay.runs_on_disk(disk):
+            for block in range(100):
+                address = lay.block_address(run, block)
+                assert address not in seen
+                seen.add(address)
+        assert len(seen) == 5 * 100
+
+
+def test_cylinder_of_matches_m():
+    lay = layout()
+    # m = 15.625: run slot 1 starts at cylinder floor(1000/64) = 15.
+    assert lay.cylinder_of(5, 0) == 15
+    assert lay.cylinder_of(0, 0) == 0
+    assert lay.run_cylinders == pytest.approx(15.625)
+
+
+def test_single_disk_layout():
+    lay = layout(k=25, d=1)
+    assert lay.runs_on_disk(0) == list(range(25))
+    assert lay.block_address(24, 999) == 25 * 1000 - 1
+
+
+def test_out_of_range_rejected():
+    lay = layout()
+    with pytest.raises(ValueError):
+        lay.disk_of_run(25)
+    with pytest.raises(ValueError):
+        lay.block_address(0, 1000)
+    with pytest.raises(ValueError):
+        lay.runs_on_disk(5)
+
+
+def test_disk_too_small_rejected():
+    tiny = DiskGeometry(heads=1, sectors_per_track=1, cylinders=2,
+                        bytes_per_sector=4096)
+    with pytest.raises(ValueError):
+        RunLayout(num_runs=10, num_disks=1, blocks_per_run=1000, geometry=tiny)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RunLayout(num_runs=0, num_disks=1, blocks_per_run=10)
+    with pytest.raises(ValueError):
+        RunLayout(num_runs=1, num_disks=0, blocks_per_run=10)
+    with pytest.raises(ValueError):
+        RunLayout(num_runs=1, num_disks=1, blocks_per_run=0)

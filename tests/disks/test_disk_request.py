@@ -1,0 +1,54 @@
+"""Tests for BlockFetchRequest."""
+
+import pytest
+
+from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.sim import Simulator
+
+
+def test_request_creates_one_event_per_block():
+    sim = Simulator()
+    request = BlockFetchRequest(sim, run=3, first_block=10, count=4,
+                                kind=FetchKind.PREFETCH)
+    assert len(request.block_events) == 4
+    assert request.demand_event is request.block_events[0]
+
+
+def test_last_block():
+    sim = Simulator()
+    request = BlockFetchRequest(sim, run=0, first_block=10, count=4,
+                                kind=FetchKind.DEMAND)
+    assert request.last_block == 13
+
+
+def test_issue_time_recorded():
+    sim = Simulator()
+    times = []
+
+    def body():
+        yield sim.timeout(5.0)
+        request = BlockFetchRequest(sim, run=0, first_block=0, count=1,
+                                    kind=FetchKind.DEMAND)
+        times.append(request.issue_time)
+
+    sim.process(body())
+    sim.run()
+    assert times == [5.0]
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BlockFetchRequest(sim, run=0, first_block=0, count=0,
+                          kind=FetchKind.DEMAND)
+    with pytest.raises(ValueError):
+        BlockFetchRequest(sim, run=0, first_block=-1, count=1,
+                          kind=FetchKind.DEMAND)
+
+
+def test_repr_mentions_range_and_kind():
+    sim = Simulator()
+    request = BlockFetchRequest(sim, run=2, first_block=5, count=3,
+                                kind=FetchKind.PREFETCH)
+    text = repr(request)
+    assert "run=2" in text and "[5..7]" in text and "prefetch" in text

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig-3.2a" in out
+    assert "tab-urn" in out
+
+
+def test_paper_check_all_pass(capsys):
+    assert main(["paper-check"]) == 0
+    out = capsys.readouterr().out
+    assert "13/13 analytical checks match" in out
+    assert "FAIL" not in out
+
+
+def test_simulate_small_configuration(capsys):
+    code = main([
+        "simulate", "-k", "4", "-D", "2", "--strategy", "intra-run",
+        "-N", "3", "--blocks", "30", "--trials", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "total time" in out
+    assert "k=4 D=2" in out
+
+
+def test_simulate_inter_run_reports_success_ratio(capsys):
+    main([
+        "simulate", "-k", "4", "-D", "2", "--strategy", "inter-run",
+        "-N", "2", "--blocks", "20", "--trials", "1", "--cache", "40",
+    ])
+    out = capsys.readouterr().out
+    assert "success ratio" in out
+
+
+def test_selfcheck_passes(capsys):
+    assert main(["selfcheck"]) == 0
+    out = capsys.readouterr().out
+    assert "5/5 simulation checks within tolerance" in out
+    assert "FAIL" not in out
+
+
+def test_predict_prints_estimate(capsys):
+    code = main(["predict", "-k", "25", "-D", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "357.1" in out  # the paper's 357.2s baseline
+    assert "eq(1)" in out
+
+
+def test_predict_inter_run_sync(capsys):
+    main([
+        "predict", "-k", "25", "-D", "5", "--strategy", "inter-run",
+        "-N", "10", "--sync",
+    ])
+    out = capsys.readouterr().out
+    assert "17.5" in out or "17.6" in out
+    assert "0.703" in out
+
+
+def test_plan_single_pass(capsys):
+    assert main(["plan", "-k", "25", "-D", "5", "--cache", "250",
+                 "-N", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "fan-in 25" in out
+    assert "pass 0: 25 runs -> 1" in out
+
+
+def test_plan_multi_pass(capsys):
+    main(["plan", "-k", "100", "--cache", "250", "-N", "10"])
+    out = capsys.readouterr().out
+    assert "pass 0: 100 runs -> 4" in out
+    assert "pass 1: 4 runs -> 1" in out
+
+
+def test_run_with_overrides_writes_report(tmp_path, capsys):
+    report = tmp_path / "report.txt"
+    code = main([
+        "run", "tab-seek", "--quick", "--trials", "1", "--blocks", "50",
+        "--seed", "3", "--out", str(report),
+    ])
+    assert code == 0
+    text = report.read_text()
+    assert "tab-seek" in text
+    assert "Expected seek moves" in text
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "fig-9.9z", "--quick"])
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

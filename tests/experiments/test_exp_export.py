@@ -1,0 +1,76 @@
+"""Tests for JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+from repro.cli import main
+from repro.experiments.config import ExperimentResult, Table
+from repro.experiments.export import (
+    export_results,
+    load_result_json,
+    result_to_json,
+    table_to_csv,
+)
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="fig-9.9x",
+        title="demo experiment",
+        tables=[
+            Table("first table", ["x", "y"], [[1, 2.5], [2, 3.5]]),
+            Table("second", ["name"], [["alpha"], ["beta"]]),
+        ],
+        notes=["a note"],
+    )
+
+
+def test_table_to_csv_roundtrip(tmp_path):
+    path = table_to_csv(sample_result().tables[0], tmp_path / "t.csv")
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["x", "y"], ["1", "2.5"], ["2", "3.5"]]
+
+
+def test_result_to_json_roundtrip(tmp_path):
+    path = result_to_json(sample_result(), tmp_path / "r.json")
+    loaded = load_result_json(path)
+    assert loaded["experiment_id"] == "fig-9.9x"
+    assert loaded["tables"][0]["headers"] == ["x", "y"]
+    assert loaded["notes"] == ["a note"]
+
+
+def test_export_results_writes_json_plus_csvs(tmp_path):
+    written = export_results([sample_result()], tmp_path)
+    assert len(written) == 3  # 1 JSON + 2 CSVs
+    names = sorted(p.name for p in written)
+    assert names[0].startswith("fig-9-9x")
+    assert any(name.endswith(".json") for name in names)
+    assert sum(name.endswith(".csv") for name in names) == 2
+
+
+def test_export_creates_directories(tmp_path):
+    nested = tmp_path / "a" / "b"
+    written = export_results([sample_result()], nested)
+    assert all(path.exists() for path in written)
+
+
+def test_json_is_valid_and_pretty(tmp_path):
+    path = result_to_json(sample_result(), tmp_path / "r.json")
+    text = path.read_text()
+    json.loads(text)
+    assert "\n" in text  # indented
+
+
+def test_cli_export_dir(tmp_path, capsys):
+    export_dir = tmp_path / "exports"
+    code = main([
+        "run", "tab-seek", "--quick", "--trials", "1", "--blocks", "50",
+        "--export-dir", str(export_dir),
+    ])
+    assert code == 0
+    files = list(export_dir.iterdir())
+    assert any(f.suffix == ".json" for f in files)
+    assert any(f.suffix == ".csv" for f in files)
+    out = capsys.readouterr().out
+    assert "exported" in out

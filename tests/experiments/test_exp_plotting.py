@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.config import Table
+from repro.experiments.plotting import Series, chart_from_table, render_chart
+
+
+def simple_series():
+    return [Series.of("linear", [0, 1, 2, 3], [0, 1, 2, 3])]
+
+
+def test_render_contains_title_axis_and_legend():
+    text = render_chart(simple_series(), title="demo", x_label="n", y_label="t")
+    assert "demo" in text
+    assert "o linear" in text
+    assert "x: n   y: t" in text
+
+
+def test_marker_count_matches_points():
+    text = render_chart(simple_series())
+    assert text.count("o") >= 4  # legend 'o' + at least 3 distinct cells
+
+
+def test_multiple_series_use_distinct_markers():
+    series = [
+        Series.of("a", [0, 1], [0, 1]),
+        Series.of("b", [0, 1], [1, 0]),
+    ]
+    text = render_chart(series)
+    assert "o a" in text and "x b" in text
+
+
+def test_y_floor_pins_zero():
+    series = [Series.of("a", [0, 1], [10, 20])]
+    floored = render_chart(series)  # default floor 0
+    assert " 0 |" in floored
+    fitted = render_chart(series, y_floor=None)
+    assert "10 |" in fitted
+
+
+def test_axis_labels_show_data_range():
+    series = [Series.of("a", [5, 50], [1, 2])]
+    text = render_chart(series)
+    assert "5" in text and "50" in text
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        render_chart([])
+    with pytest.raises(ValueError):
+        render_chart([Series("empty", ())])
+
+
+def test_tiny_dimensions_rejected():
+    with pytest.raises(ValueError):
+        render_chart(simple_series(), width=4)
+    with pytest.raises(ValueError):
+        render_chart(simple_series(), height=2)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        Series.of("bad", [1, 2], [1])
+
+
+def test_constant_data_does_not_crash():
+    text = render_chart([Series.of("flat", [1, 2, 3], [5, 5, 5])])
+    assert "flat" in text
+
+
+def test_chart_from_table_skips_non_numeric_cells():
+    table = Table(
+        title="t",
+        headers=["x", "y1", "y2"],
+        rows=[[1, 2.0, "-"], [2, 3.0, 4.0], [3, "-", 5.0]],
+    )
+    text = chart_from_table(table, "x", ["y1", "y2"])
+    assert "o y1" in text and "x y2" in text
+
+
+def test_chart_from_table_uses_table_title_by_default():
+    table = Table(title="my sweep", headers=["x", "y"], rows=[[1, 1], [2, 2]])
+    assert "my sweep" in chart_from_table(table, "x", ["y"])

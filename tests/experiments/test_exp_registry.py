@@ -1,0 +1,89 @@
+"""Tests for the experiment registry and result containers."""
+
+import pytest
+
+from repro.experiments import Scale, all_experiments, get_experiment
+from repro.experiments.config import ExperimentResult, Table
+
+EXPECTED_PRIMARY_IDS = {
+    "fig-3.2a", "fig-3.2b", "fig-3.2c", "fig-3.3",
+    "fig-3.5a", "fig-3.5b", "fig-3.5c",
+    "tab-seek", "tab-single", "tab-intra-1d", "tab-multi-nopf",
+    "tab-urn", "tab-inter-sync", "tab-bounds", "tab-markov",
+    "ablation-cache-policy", "ablation-selector",
+    "ablation-depletion-model", "ablation-streaming", "ablation-k100",
+    "ablation-queue-discipline", "ext-write-traffic", "ext-pass-planning",
+    "ext-adaptive-depth", "ext-skewed-depletion",
+}
+
+EXPECTED_ALIASES = {"fig-3.6a", "fig-3.6b", "fig-3.6c"}
+
+
+def test_every_paper_artifact_is_registered():
+    ids = {e.experiment_id for e in all_experiments()}
+    assert EXPECTED_PRIMARY_IDS <= ids
+    assert EXPECTED_ALIASES <= ids
+
+
+def test_figure_36_aliases_point_to_35():
+    alias = get_experiment("fig-3.6a")
+    assert "alias of fig-3.5a" in alias.description
+    assert alias.runner is get_experiment("fig-3.5a").runner
+
+
+def test_unknown_experiment_lists_known_ids():
+    with pytest.raises(KeyError, match="fig-3.2a"):
+        get_experiment("nope")
+
+
+def test_every_experiment_has_paper_reference():
+    for experiment in all_experiments():
+        assert experiment.paper_reference
+        assert experiment.title
+        assert experiment.description
+
+
+def test_scale_presets():
+    full, quick = Scale.full(), Scale.quick()
+    assert full.trials == 5 and full.blocks_per_run == 1000
+    assert quick.trials < full.trials
+    assert quick.blocks_per_run < full.blocks_per_run
+
+
+def test_scale_thin_keeps_endpoints():
+    scale = Scale(trials=1, blocks_per_run=10, sweep_density=0.5)
+    values = [1, 2, 3, 4, 5, 6, 7]
+    thinned = scale.thin(values)
+    assert thinned[0] == 1
+    assert thinned[-1] == 7
+    assert len(thinned) < len(values)
+
+
+def test_scale_full_density_keeps_everything():
+    scale = Scale.full()
+    assert scale.thin([1, 2, 3]) == [1, 2, 3]
+
+
+def test_table_render_alignment():
+    table = Table(
+        title="demo",
+        headers=["name", "value"],
+        rows=[["a", 1.5], ["long-name", 22]],
+    )
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.50" in text and "22" in text
+
+
+def test_experiment_result_render():
+    result = ExperimentResult(
+        experiment_id="x",
+        title="demo",
+        tables=[Table("t", ["a"], [[1]])],
+        notes=["remember this"],
+    )
+    text = result.render()
+    assert "== x: demo ==" in text
+    assert "note: remember this" in text

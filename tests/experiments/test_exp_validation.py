@@ -1,0 +1,85 @@
+"""Tests for the automated reproduction audit."""
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.experiments.validation import (
+    PAPER_EXPECTATIONS,
+    Expectation,
+    render_verdicts,
+    validate,
+)
+
+
+def test_expectations_cover_the_papers_printed_values():
+    labels = " ".join(e.label for e in PAPER_EXPECTATIONS)
+    assert "357.2" in " ".join(str(e.paper_value) for e in PAPER_EXPECTATIONS)
+    assert "no prefetch, k=25, 1 disk" in labels
+    assert "sync inter-run" in labels
+    assert "urn-game" in labels
+    assert len(PAPER_EXPECTATIONS) >= 10
+
+
+def test_every_expectation_has_positive_tolerance_and_source():
+    for expectation in PAPER_EXPECTATIONS:
+        assert 0 < expectation.tolerance < 0.5
+        assert expectation.source
+        assert expectation.paper_value > 0
+
+
+def _tiny_expectation(paper_value, tolerance):
+    return Expectation(
+        label="tiny",
+        paper_value=paper_value,
+        tolerance=tolerance,
+        config=SimulationConfig(
+            num_runs=4, num_disks=2, strategy=PrefetchStrategy.NONE,
+            blocks_per_run=30, trials=1,
+        ),
+        metric=lambda result: result.total_time_s.mean,
+        source="test",
+    )
+
+
+def test_validate_measures_and_judges():
+    # First find the true measured value, then build expectations
+    # around it to exercise both verdicts.
+    probe = validate([_tiny_expectation(1.0, 0.5)])[0]
+    measured = probe.measured
+
+    passing = validate([_tiny_expectation(measured, 0.05)])[0]
+    assert passing.ok
+    assert passing.relative_error < 0.001
+
+    failing = validate([_tiny_expectation(measured * 2, 0.05)])[0]
+    assert not failing.ok
+    assert failing.relative_error == pytest.approx(0.5, abs=0.01)
+
+
+def test_validate_scale_override_shrinks_runs():
+    expectation = _tiny_expectation(1.0, 0.5)
+    full = validate([expectation])[0]
+    small = validate([expectation], blocks_per_run=10)[0]
+    assert small.measured < full.measured
+
+
+def test_render_verdicts_format():
+    verdicts = validate([_tiny_expectation(1e9, 0.01)])
+    text = render_verdicts(verdicts)
+    assert "[FAIL]" in text
+    assert "0/1 paper values reproduced" in text
+
+
+@pytest.mark.slow
+def test_two_headline_values_reproduce_at_full_scale():
+    """A fast subset of `repro validate`: the two cheapest paper values."""
+    subset = [
+        e for e in PAPER_EXPECTATIONS
+        if e.label in (
+            "intra-run N=10, k=25, 1 disk",
+            "sync inter-run N=10, k=25, 5 disks",
+        )
+    ]
+    assert len(subset) == 2
+    verdicts = validate(subset)
+    assert all(v.ok for v in verdicts), render_verdicts(verdicts)

@@ -1,0 +1,117 @@
+"""Integration: the simulator must land on the paper's closed forms.
+
+These run the real simulator at full paper scale (1000-block runs) with
+a reduced trial count and check agreement with the analytical estimates
+in each formula's regime of validity -- the paper's own validation
+methodology.
+"""
+
+import pytest
+
+from repro.analysis.predictions import predict
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+
+
+def run_and_predict(**kwargs):
+    config = SimulationConfig(trials=2, base_seed=7, **kwargs)
+    simulated = MergeSimulation(config).run().total_time_s.mean
+    estimated = predict(config).total_s
+    return simulated, estimated
+
+
+@pytest.mark.slow
+def test_no_prefetch_single_disk_k25():
+    simulated, estimated = run_and_predict(
+        num_runs=25, num_disks=1, strategy=PrefetchStrategy.NONE
+    )
+    assert simulated == pytest.approx(estimated, rel=0.02)
+    assert simulated == pytest.approx(357.2, rel=0.02)
+
+
+@pytest.mark.slow
+def test_no_prefetch_multi_disk_k25_d5():
+    simulated, estimated = run_and_predict(
+        num_runs=25, num_disks=5, strategy=PrefetchStrategy.NONE
+    )
+    assert simulated == pytest.approx(estimated, rel=0.02)
+    assert simulated == pytest.approx(279.0, rel=0.02)
+
+
+@pytest.mark.slow
+def test_intra_run_single_disk_n10():
+    simulated, estimated = run_and_predict(
+        num_runs=25, num_disks=1,
+        strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=10,
+    )
+    assert simulated == pytest.approx(estimated, rel=0.02)
+    assert simulated == pytest.approx(81.8, rel=0.02)
+
+
+@pytest.mark.slow
+def test_intra_run_multi_disk_synchronized():
+    simulated, estimated = run_and_predict(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=10,
+        synchronized=True,
+    )
+    assert simulated == pytest.approx(estimated, rel=0.02)
+
+
+@pytest.mark.slow
+def test_inter_run_synchronized_17_6s():
+    simulated, estimated = run_and_predict(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=10,
+        cache_capacity=1200, synchronized=True,
+    )
+    assert simulated == pytest.approx(estimated, rel=0.03)
+    assert simulated == pytest.approx(17.6, rel=0.03)
+
+
+@pytest.mark.slow
+def test_unsync_intra_run_concurrency_near_urn_prediction():
+    config = SimulationConfig(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=30,
+        trials=2, base_seed=7,
+    )
+    result = MergeSimulation(config).run()
+    # Urn game predicts 2.51 concurrent disks asymptotically; at N=30
+    # the simulation should be in its neighbourhood.
+    assert result.average_concurrency.mean == pytest.approx(2.51, rel=0.15)
+    # And the time should sit between the asymptote and the sync time.
+    assert 23.4 * 0.9 < result.total_time_s.mean < 58.85
+
+
+@pytest.mark.slow
+def test_inter_run_unsync_approaches_transfer_bound():
+    config = SimulationConfig(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=50,
+        cache_capacity=5000, trials=2, base_seed=7,
+    )
+    result = MergeSimulation(config).run()
+    bound = 10.25
+    # Paper simulated 12.2s at N=50: above the bound but within ~25%.
+    assert bound < result.total_time_s.mean < bound * 1.35
+
+
+@pytest.mark.slow
+def test_strategy_ordering_matches_paper():
+    """The paper's qualitative conclusion: inter > intra > none."""
+    kwargs = dict(num_runs=25, num_disks=5)
+    none, _ = run_and_predict(strategy=PrefetchStrategy.NONE, **kwargs)
+    intra, _ = run_and_predict(
+        strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=10, **kwargs
+    )
+    config = SimulationConfig(
+        strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=10,
+        trials=2, base_seed=7, **kwargs,
+    )
+    inter = MergeSimulation(config).run().total_time_s.mean
+    assert inter < intra < none
+    # Superlinear speedup over the single-disk baseline (paper's claim).
+    single, _ = run_and_predict(num_runs=25, num_disks=1,
+                                strategy=PrefetchStrategy.NONE)
+    assert single / inter > 5  # more than D-fold

@@ -1,0 +1,117 @@
+"""Tests for block-granular file I/O."""
+
+import pytest
+
+from repro.io.blockio import BLOCK_BYTES, BlockReader, BlockWriter
+from repro.io.codec import RecordCodec
+from repro.mergesort.records import Record
+
+
+def records(n):
+    return [Record(key=i * 10, tag=i) for i in range(n)]
+
+
+def write_run(path, items, **kwargs):
+    with BlockWriter(path, **kwargs) as writer:
+        writer.write_many(items)
+        return writer
+
+
+def test_roundtrip_exact_block_multiple(tmp_path):
+    path = tmp_path / "run.blk"
+    items = records(128)  # exactly 2 blocks of 64
+    write_run(path, items)
+    assert list(BlockReader(path)) == items
+
+
+def test_roundtrip_partial_final_block(tmp_path):
+    path = tmp_path / "run.blk"
+    items = records(70)
+    write_run(path, items)
+    reader = BlockReader(path)
+    assert list(reader) == items
+    assert reader.num_blocks == 2
+    assert reader.blocks_read == 2
+
+
+def test_file_size_is_whole_blocks(tmp_path):
+    path = tmp_path / "run.blk"
+    write_run(path, records(70))
+    size = path.stat().st_size
+    assert size == 3 * BLOCK_BYTES  # header + 2 data blocks
+    assert size % BLOCK_BYTES == 0
+
+
+def test_empty_run(tmp_path):
+    path = tmp_path / "run.blk"
+    write_run(path, [])
+    reader = BlockReader(path)
+    assert reader.record_count == 0
+    assert reader.num_blocks == 0
+    assert list(reader) == []
+
+
+def test_writer_counts(tmp_path):
+    path = tmp_path / "run.blk"
+    writer = write_run(path, records(130))
+    assert writer.records_written == 130
+    assert writer.blocks_written == 3
+
+
+def test_block_exhaustion_callback_fires_per_block(tmp_path):
+    path = tmp_path / "run.blk"
+    write_run(path, records(130))
+    events = []
+    reader = BlockReader(path, on_block_exhausted=lambda: events.append(1))
+    list(reader)
+    assert len(events) == 3
+
+
+def test_reader_rejects_wrong_codec(tmp_path):
+    path = tmp_path / "run.blk"
+    write_run(path, records(5))
+    with pytest.raises(ValueError, match="codec expects"):
+        BlockReader(path, codec=RecordCodec(record_bytes=32))
+
+
+def test_reader_rejects_truncated_file(tmp_path):
+    path = tmp_path / "bad.blk"
+    path.write_bytes(b"\x01")
+    with pytest.raises(ValueError, match="truncated"):
+        BlockReader(path)
+
+
+def test_writer_rejects_ragged_block_size():
+    with pytest.raises(ValueError):
+        BlockWriter("/tmp/unused.blk", block_bytes=1000)
+
+
+def test_writer_close_idempotent(tmp_path):
+    path = tmp_path / "run.blk"
+    writer = BlockWriter(path)
+    writer.write(Record(1, 1))
+    writer.close()
+    writer.close()
+    with pytest.raises(ValueError):
+        writer.write(Record(2, 2))
+
+
+def test_reader_reiterable(tmp_path):
+    path = tmp_path / "run.blk"
+    items = records(10)
+    write_run(path, items)
+    reader = BlockReader(path)
+    assert list(reader) == items
+    assert list(reader) == items  # fresh file handle per iteration
+
+
+def test_custom_block_size(tmp_path):
+    path = tmp_path / "run.blk"
+    codec = RecordCodec(record_bytes=32)
+    items = records(20)
+    with BlockWriter(path, codec=codec, block_bytes=128) as writer:
+        writer.write_many(items)
+    reader = BlockReader(path, codec=codec, block_bytes=128)
+    assert reader.records_per_block == 4
+    assert list(reader) == items
+    assert reader.num_blocks == 5

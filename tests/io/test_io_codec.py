@@ -1,0 +1,66 @@
+"""Tests for the binary record codec."""
+
+import pytest
+
+from repro.io.codec import RecordCodec
+from repro.mergesort.records import Record
+
+
+def test_encoded_length_is_record_bytes():
+    codec = RecordCodec()
+    assert len(codec.encode(Record(1, 2))) == 64
+
+
+def test_roundtrip():
+    codec = RecordCodec()
+    for record in (Record(0, 0), Record(12345, 678), Record(-99, 1)):
+        assert codec.decode(codec.encode(record)) == record
+
+
+def test_negative_and_large_keys():
+    codec = RecordCodec()
+    for key in (-(2**62), -1, 0, 2**62):
+        assert codec.decode(codec.encode(Record(key, 7))).key == key
+
+
+def test_raw_byte_order_matches_key_order_for_non_negative_keys():
+    codec = RecordCodec()
+    a = codec.encode(Record(5, 0))
+    b = codec.encode(Record(600, 0))
+    assert (a < b) == (5 < 600)
+
+
+def test_wrong_length_rejected():
+    codec = RecordCodec()
+    with pytest.raises(ValueError):
+        codec.decode(b"\x00" * 63)
+
+
+def test_encode_many_decode_many_roundtrip():
+    codec = RecordCodec()
+    records = [Record(k, k * 2) for k in range(10)]
+    data = codec.encode_many(records)
+    assert len(data) == 640
+    assert codec.decode_many(data) == records
+
+
+def test_decode_many_rejects_ragged_buffer():
+    codec = RecordCodec()
+    with pytest.raises(ValueError):
+        codec.decode_many(b"\x00" * 100)
+
+
+def test_custom_record_size():
+    codec = RecordCodec(record_bytes=32)
+    assert codec.payload_bytes == 16
+    assert codec.decode(codec.encode(Record(9, 9))) == Record(9, 9)
+
+
+def test_too_small_record_rejected():
+    with pytest.raises(ValueError):
+        RecordCodec(record_bytes=8)
+
+
+def test_payload_is_zero_padding():
+    codec = RecordCodec()
+    assert codec.encode(Record(1, 1))[16:] == b"\x00" * 48

@@ -1,0 +1,101 @@
+"""Edge cases and fault handling in the file-backed stack."""
+
+import pytest
+
+from repro.io.blockio import BLOCK_BYTES, BlockReader, BlockWriter
+from repro.io.codec import RecordCodec
+from repro.io.filesort import FileSorter
+from repro.mergesort.records import Record
+
+
+def test_reader_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        BlockReader(tmp_path / "nope.blk")
+
+
+def test_reader_rejects_header_claiming_wrong_record_size(tmp_path):
+    path = tmp_path / "forged.blk"
+    with BlockWriter(path, codec=RecordCodec(record_bytes=32)) as writer:
+        writer.write(Record(1, 1))
+    with pytest.raises(ValueError, match="codec expects"):
+        BlockReader(path)  # default 64-byte codec
+
+
+def test_reader_header_only_zero_records(tmp_path):
+    import struct
+
+    path = tmp_path / "empty.blk"
+    header = struct.pack(">QI", 0, 64)  # 0 records of 64 bytes
+    path.write_bytes(header + b"\x00" * (BLOCK_BYTES - len(header)))
+    reader = BlockReader(path)
+    assert reader.record_count == 0
+    assert list(reader) == []
+
+
+def test_reader_rejects_zeroed_header(tmp_path):
+    """An all-zero header (record size 0) is not a valid run file."""
+    path = tmp_path / "zeroed.blk"
+    path.write_bytes(b"\x00" * BLOCK_BYTES)
+    with pytest.raises(ValueError, match="codec expects"):
+        BlockReader(path)
+
+
+def test_exactly_one_record(tmp_path):
+    path = tmp_path / "one.blk"
+    with BlockWriter(path) as writer:
+        writer.write(Record(42, 0))
+    reader = BlockReader(path)
+    assert reader.num_blocks == 1
+    assert [r.key for r in reader] == [42]
+
+
+def test_writer_overwrites_existing_file(tmp_path):
+    path = tmp_path / "run.blk"
+    with BlockWriter(path) as writer:
+        writer.write_many(Record(k, k) for k in range(100))
+    with BlockWriter(path) as writer:
+        writer.write(Record(7, 7))
+    assert [r.key for r in BlockReader(path)] == [7]
+
+
+def test_sorter_memory_of_one_record(tmp_path):
+    """Degenerate memory: every record becomes its own run."""
+    path = tmp_path / "input.blk"
+    with BlockWriter(path) as writer:
+        writer.write_many(Record(k, i) for i, k in enumerate([3, 1, 2]))
+    sorter = FileSorter(memory_records=1, temp_dirs=[tmp_path / "d"])
+    stats = sorter.sort_file(path, tmp_path / "out.blk")
+    assert stats.initial_runs == 3
+    assert [r.key for r in BlockReader(tmp_path / "out.blk")] == [1, 2, 3]
+
+
+def test_sorter_all_equal_records(tmp_path):
+    path = tmp_path / "input.blk"
+    with BlockWriter(path) as writer:
+        writer.write_many(Record(5, i) for i in range(200))
+    sorter = FileSorter(memory_records=64, temp_dirs=[tmp_path / "d"])
+    stats = sorter.sort_file(path, tmp_path / "out.blk")
+    assert stats.records == 200
+    tags = [r.tag for r in BlockReader(tmp_path / "out.blk")]
+    assert tags == list(range(200))  # stable by tag
+
+
+def test_sorter_negative_keys(tmp_path):
+    path = tmp_path / "input.blk"
+    keys = [0, -5, 3, -(2**40), 2**40, -1]
+    with BlockWriter(path) as writer:
+        writer.write_many(Record(k, i) for i, k in enumerate(keys))
+    FileSorter(memory_records=2, temp_dirs=[tmp_path / "d"]).sort_file(
+        path, tmp_path / "out.blk"
+    )
+    assert [r.key for r in BlockReader(tmp_path / "out.blk")] == sorted(keys)
+
+
+def test_spill_directories_created_on_demand(tmp_path):
+    deep = tmp_path / "does" / "not" / "exist"
+    path = tmp_path / "input.blk"
+    with BlockWriter(path) as writer:
+        writer.write_many(Record(k, k) for k in range(100))
+    sorter = FileSorter(memory_records=10, temp_dirs=[deep])
+    sorter.sort_file(path, tmp_path / "out.blk")
+    assert deep.exists()

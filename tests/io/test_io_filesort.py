@@ -1,0 +1,200 @@
+"""Tests for the bounded-memory file sorter."""
+
+import random
+
+import pytest
+
+from repro.io.blockio import BlockReader, BlockWriter
+from repro.io.filesort import (
+    FileSorter,
+    verify_sorted_file,
+    write_random_input,
+)
+from repro.mergesort.records import Record
+
+
+def make_input(tmp_path, count, seed=1):
+    path = tmp_path / "input.blk"
+    write_random_input(path, count, seed=seed)
+    return path
+
+
+def make_sorter(tmp_path, memory_records=64, dirs=2):
+    temp_dirs = [tmp_path / f"disk{i}" for i in range(dirs)]
+    return FileSorter(memory_records=memory_records, temp_dirs=temp_dirs)
+
+
+def test_sorts_a_file(tmp_path):
+    input_path = make_input(tmp_path, 500)
+    output_path = tmp_path / "sorted.blk"
+    stats = make_sorter(tmp_path).sort_file(input_path, output_path)
+    assert stats.records == 500
+    assert verify_sorted_file(output_path) == 500
+
+
+def test_output_is_permutation_of_input(tmp_path):
+    input_path = make_input(tmp_path, 300)
+    output_path = tmp_path / "sorted.blk"
+    make_sorter(tmp_path).sort_file(input_path, output_path)
+    original = sorted(BlockReader(input_path))
+    result = list(BlockReader(output_path))
+    assert result == original
+
+
+def test_run_count_matches_memory(tmp_path):
+    input_path = make_input(tmp_path, 500)
+    stats = make_sorter(tmp_path, memory_records=64).sort_file(
+        input_path, tmp_path / "out.blk"
+    )
+    assert stats.runs == 8  # ceil(500/64)
+
+
+def test_runs_distributed_round_robin_across_dirs(tmp_path):
+    input_path = make_input(tmp_path, 256)
+    sorter = make_sorter(tmp_path, memory_records=64, dirs=2)
+    # Capture spill locations before cleanup by spying on _spill.
+    spilled = []
+    original_spill = sorter._spill
+
+    def spy(load, run_index):
+        path = original_spill(load, run_index)
+        spilled.append(path.parent.name)
+        return path
+
+    sorter._spill = spy
+    sorter.sort_file(input_path, tmp_path / "out.blk")
+    assert spilled == ["disk0", "disk1", "disk0", "disk1"]
+
+
+def test_temporary_runs_cleaned_up(tmp_path):
+    input_path = make_input(tmp_path, 300)
+    sorter = make_sorter(tmp_path)
+    sorter.sort_file(input_path, tmp_path / "out.blk")
+    leftovers = [
+        p for d in sorter.temp_dirs if d.exists() for p in d.iterdir()
+    ]
+    assert leftovers == []
+
+
+def test_depletion_trace_covers_every_run_block(tmp_path):
+    input_path = make_input(tmp_path, 640)
+    stats = make_sorter(tmp_path, memory_records=128).sort_file(
+        input_path, tmp_path / "out.blk"
+    )
+    assert len(stats.depletion_trace) == stats.total_run_blocks
+    for run in range(stats.runs):
+        expected = stats.run_blocks[run]
+        assert stats.depletion_trace.count(run) == expected
+
+
+def test_single_memory_load_still_works(tmp_path):
+    input_path = make_input(tmp_path, 50)
+    stats = make_sorter(tmp_path, memory_records=1000).sort_file(
+        input_path, tmp_path / "out.blk"
+    )
+    assert stats.runs == 1
+    assert verify_sorted_file(tmp_path / "out.blk") == 50
+
+
+def test_duplicate_keys_sorted_stably_by_tag(tmp_path):
+    path = tmp_path / "dups.blk"
+    with BlockWriter(path) as writer:
+        for tag in range(100):
+            writer.write(Record(key=7, tag=tag))
+    make_sorter(tmp_path, memory_records=16).sort_file(
+        path, tmp_path / "out.blk"
+    )
+    tags = [record.tag for record in BlockReader(tmp_path / "out.blk")]
+    assert tags == list(range(100))
+
+
+def test_empty_input_rejected(tmp_path):
+    path = tmp_path / "empty.blk"
+    with BlockWriter(path):
+        pass
+    with pytest.raises(ValueError, match="no records"):
+        make_sorter(tmp_path).sort_file(path, tmp_path / "out.blk")
+
+
+def test_invalid_construction(tmp_path):
+    with pytest.raises(ValueError):
+        FileSorter(memory_records=0, temp_dirs=[tmp_path])
+    with pytest.raises(ValueError):
+        FileSorter(memory_records=10, temp_dirs=[])
+
+
+def test_byte_accounting(tmp_path):
+    input_path = make_input(tmp_path, 128)
+    stats = make_sorter(tmp_path, memory_records=64).sort_file(
+        input_path, tmp_path / "out.blk"
+    )
+    # 2 runs x (1 header + 1 data block); output 1 header + 2 data.
+    assert stats.bytes_read == 2 * 2 * 4096
+    assert stats.bytes_written == 3 * 4096
+
+
+def test_verify_sorted_file_detects_disorder(tmp_path):
+    path = tmp_path / "bad.blk"
+    with BlockWriter(path) as writer:
+        writer.write(Record(2, 0))
+        writer.write(Record(1, 1))
+    with pytest.raises(AssertionError, match="unsorted"):
+        verify_sorted_file(path)
+
+
+def test_multi_pass_respects_fan_in(tmp_path):
+    input_path = make_input(tmp_path, 1000)
+    sorter = FileSorter(
+        memory_records=64,
+        temp_dirs=[tmp_path / "d0", tmp_path / "d1"],
+        max_fan_in=4,
+    )
+    stats = sorter.sort_file(input_path, tmp_path / "out.blk")
+    assert stats.initial_runs == 16
+    assert stats.merge_passes == 2  # 16 -> 4 -> 1
+    assert stats.runs <= 4  # final pass fan-in
+    assert verify_sorted_file(tmp_path / "out.blk") == 1000
+
+
+def test_multi_pass_equals_single_pass_output(tmp_path):
+    input_path = make_input(tmp_path, 600, seed=8)
+    single = FileSorter(memory_records=50, temp_dirs=[tmp_path / "s"])
+    multi = FileSorter(
+        memory_records=50, temp_dirs=[tmp_path / "m"], max_fan_in=3
+    )
+    single.sort_file(input_path, tmp_path / "single.blk")
+    multi_stats = multi.sort_file(input_path, tmp_path / "multi.blk")
+    assert multi_stats.merge_passes > 1
+    assert list(BlockReader(tmp_path / "single.blk")) == list(
+        BlockReader(tmp_path / "multi.blk")
+    )
+
+
+def test_multi_pass_cleans_intermediate_runs(tmp_path):
+    input_path = make_input(tmp_path, 600)
+    sorter = FileSorter(
+        memory_records=50, temp_dirs=[tmp_path / "d"], max_fan_in=3
+    )
+    sorter.sort_file(input_path, tmp_path / "out.blk")
+    leftovers = [
+        p for d in sorter.temp_dirs if d.exists() for p in d.iterdir()
+    ]
+    assert leftovers == []
+
+
+def test_invalid_fan_in_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        FileSorter(memory_records=10, temp_dirs=[tmp_path], max_fan_in=1)
+
+
+def test_large_sort_with_many_runs(tmp_path):
+    rng = random.Random(9)
+    path = tmp_path / "big.blk"
+    with BlockWriter(path) as writer:
+        for tag in range(5000):
+            writer.write(Record(key=rng.randrange(10**9), tag=tag))
+    stats = make_sorter(tmp_path, memory_records=256, dirs=3).sort_file(
+        path, tmp_path / "out.blk"
+    )
+    assert stats.runs == 20
+    assert verify_sorted_file(tmp_path / "out.blk") == 5000

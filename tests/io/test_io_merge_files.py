@@ -1,0 +1,77 @@
+"""Tests for merge_files and the sort/gen CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.blockio import BlockReader, BlockWriter
+from repro.io.filesort import merge_files, verify_sorted_file, write_random_input
+from repro.mergesort.records import Record
+
+
+def write_sorted_run(path, keys, tag_start=0):
+    records = sorted(Record(k, tag_start + i) for i, k in enumerate(keys))
+    with BlockWriter(path) as writer:
+        writer.write_many(records)
+    return records
+
+
+def test_merge_two_files(tmp_path):
+    a = write_sorted_run(tmp_path / "a.blk", range(0, 100, 2))
+    b = write_sorted_run(tmp_path / "b.blk", range(1, 101, 2), tag_start=100)
+    out = tmp_path / "out.blk"
+    stats = merge_files([tmp_path / "a.blk", tmp_path / "b.blk"], out)
+    assert stats.records == 100
+    merged = list(BlockReader(out))
+    assert merged == sorted(a + b)
+    assert verify_sorted_file(out) == 100
+
+
+def test_merge_single_file_is_copy(tmp_path):
+    records = write_sorted_run(tmp_path / "a.blk", [5, 6, 7])
+    stats = merge_files([tmp_path / "a.blk"], tmp_path / "out.blk")
+    assert stats.records == 3
+    assert list(BlockReader(tmp_path / "out.blk")) == records
+
+
+def test_merge_records_depletion_trace(tmp_path):
+    write_sorted_run(tmp_path / "a.blk", range(0, 256))  # 4 blocks
+    write_sorted_run(tmp_path / "b.blk", range(1000, 1064), tag_start=500)
+    stats = merge_files(
+        [tmp_path / "a.blk", tmp_path / "b.blk"], tmp_path / "out.blk"
+    )
+    assert stats.run_blocks == [4, 1]
+    assert stats.depletion_trace == [0, 0, 0, 0, 1]
+
+
+def test_merge_no_inputs_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        merge_files([], tmp_path / "out.blk")
+
+
+def test_cli_gen_and_sort_roundtrip(tmp_path, capsys):
+    input_path = tmp_path / "input.blk"
+    output_path = tmp_path / "sorted.blk"
+    assert main(["gen", str(input_path), "-n", "3000", "--seed", "4"]) == 0
+    code = main([
+        "sort", str(input_path), str(output_path),
+        "--memory-records", "256",
+        "--temp-dir", str(tmp_path / "d0"),
+        "--temp-dir", str(tmp_path / "d1"),
+        "--fan-in", "3",
+        "--verify",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sorted 3000 records" in out
+    assert "verified: 3000 records in order" in out
+    assert "merge pass(es)" in out
+    assert verify_sorted_file(output_path) == 3000
+
+
+def test_cli_sort_default_spill_dir(tmp_path, capsys):
+    input_path = tmp_path / "input.blk"
+    write_random_input(input_path, 500, seed=1)
+    output_path = tmp_path / "out.blk"
+    assert main(["sort", str(input_path), str(output_path),
+                 "--memory-records", "100"]) == 0
+    assert verify_sorted_file(output_path) == 500

@@ -1,0 +1,115 @@
+"""Tests for the end-to-end external mergesort and trace-driven I/O."""
+
+import random
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.mergesort.external import ExternalMergesort, trace_driven_metrics
+from repro.mergesort.records import is_sorted, make_records
+
+
+def random_records(count, seed=0):
+    rng = random.Random(seed)
+    return make_records([rng.randrange(1_000_000) for _ in range(count)])
+
+
+def test_sorts_random_input():
+    records = random_records(500)
+    stats = ExternalMergesort(memory_records=64).sort(records)
+    assert is_sorted(stats.output)
+    assert stats.records == 500
+    assert stats.initial_runs == 8  # ceil(500/64)
+
+
+def test_single_pass_when_few_runs():
+    records = random_records(100)
+    stats = ExternalMergesort(memory_records=50).sort(records)
+    assert stats.merge_passes == 1
+    assert stats.final_fan_in == 2
+
+
+def test_multi_pass_respects_fan_in_limit():
+    records = random_records(1000)
+    sorter = ExternalMergesort(memory_records=50, max_fan_in=4)
+    stats = sorter.sort(records)
+    assert stats.initial_runs == 20
+    assert stats.merge_passes > 1
+    assert stats.final_fan_in <= 4
+    assert is_sorted(stats.output)
+
+
+def test_replacement_selection_pipeline():
+    records = random_records(600)
+    sorter = ExternalMergesort(memory_records=50, replacement_selection=True)
+    stats = sorter.sort(records)
+    assert is_sorted(stats.output)
+    # Replacement selection forms fewer, longer runs than memory sort.
+    assert stats.initial_runs < 600 / 50
+
+
+def test_sorted_input_already_one_run_with_replacement_selection():
+    records = make_records(range(300))
+    sorter = ExternalMergesort(memory_records=50, replacement_selection=True)
+    stats = sorter.sort(records)
+    assert stats.initial_runs == 1
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        ExternalMergesort(memory_records=10).sort([])
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        ExternalMergesort(memory_records=0)
+    with pytest.raises(ValueError):
+        ExternalMergesort(memory_records=10, max_fan_in=1)
+    with pytest.raises(ValueError):
+        ExternalMergesort(memory_records=10, records_per_block=0)
+
+
+def test_depletion_trace_available():
+    records = random_records(512)
+    stats = ExternalMergesort(memory_records=64, records_per_block=16).sort(records)
+    trace = stats.final_depletion_trace
+    assert len(trace) == 512 // 16
+    assert all(0 <= run < stats.final_fan_in for run in trace)
+
+
+def trace_config(k, blocks_per_run):
+    return SimulationConfig(
+        num_runs=k,
+        num_disks=2,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=2,
+        blocks_per_run=blocks_per_run,
+        trials=1,
+    )
+
+
+def test_trace_driven_metrics_runs_real_trace():
+    k, blocks_per_run, rpb = 4, 8, 8
+    records = random_records(k * blocks_per_run * rpb, seed=5)
+    sorter = ExternalMergesort(
+        memory_records=blocks_per_run * rpb, records_per_block=rpb
+    )
+    stats = sorter.sort(records)
+    metrics = trace_driven_metrics(stats, trace_config(k, blocks_per_run))
+    assert metrics.blocks_depleted == k * blocks_per_run
+    assert metrics.total_time_ms > 0
+
+
+def test_trace_driven_rejects_shape_mismatch():
+    records = random_records(4 * 8 * 8, seed=5)
+    sorter = ExternalMergesort(memory_records=64, records_per_block=8)
+    stats = sorter.sort(records)
+    with pytest.raises(ValueError):
+        trace_driven_metrics(stats, trace_config(k=5, blocks_per_run=8))
+    with pytest.raises(ValueError):
+        trace_driven_metrics(stats, trace_config(k=4, blocks_per_run=9))
+
+
+def test_verify_flag_detects_nothing_on_good_sort():
+    records = random_records(200)
+    ExternalMergesort(memory_records=64).sort(records, verify=True)

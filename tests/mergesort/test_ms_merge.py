@@ -1,0 +1,95 @@
+"""Tests for blocked runs and the traced merge."""
+
+import random
+
+import pytest
+
+from repro.mergesort.merge import BlockedRun, merge_runs
+from repro.mergesort.records import make_records
+
+
+def blocked(keys, rpb=4):
+    return BlockedRun.from_records(sorted(make_records(keys)), rpb)
+
+
+def test_blocked_run_block_count():
+    run = blocked(range(10), rpb=4)
+    assert run.num_blocks == 3
+    assert len(run.block(0)) == 4
+    assert len(run.block(2)) == 2
+
+
+def test_blocked_run_rejects_unsorted():
+    with pytest.raises(ValueError):
+        BlockedRun.from_records(make_records([2, 1]))
+
+
+def test_blocked_run_block_out_of_range():
+    run = blocked(range(4), rpb=4)
+    with pytest.raises(IndexError):
+        run.block(1)
+
+
+def test_merge_produces_sorted_output():
+    rng = random.Random(0)
+    runs = [blocked([rng.randrange(100) for _ in range(20)]) for _ in range(5)]
+    result = merge_runs(runs)
+    keys = [record.key for record in result.records]
+    assert keys == sorted(keys)
+    assert len(result.records) == 100
+
+
+def test_depletion_trace_length_equals_total_blocks():
+    runs = [blocked(range(0, 16), rpb=4), blocked(range(16, 32), rpb=4)]
+    result = merge_runs(runs)
+    assert result.total_blocks == 8
+    assert len(result.depletion_trace) == 8
+
+
+def test_depletions_per_run_match_block_counts():
+    rng = random.Random(1)
+    runs = [blocked([rng.randrange(1000) for _ in range(20)]) for _ in range(4)]
+    result = merge_runs(runs)
+    for index, run in enumerate(runs):
+        assert result.depletions_of(index) == run.num_blocks
+
+
+def test_disjoint_ranges_deplete_sequentially():
+    """Run 0 holds all small keys: its blocks deplete first."""
+    runs = [blocked(range(0, 16), rpb=4), blocked(range(100, 116), rpb=4)]
+    result = merge_runs(runs)
+    assert result.depletion_trace == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def test_interleaved_ranges_alternate_depletions():
+    a = blocked(range(0, 32, 2), rpb=4)  # evens
+    b = blocked(range(1, 33, 2), rpb=4)  # odds
+    result = merge_runs([a, b])
+    assert sorted(result.depletion_trace) == [0, 0, 0, 0, 1, 1, 1, 1]
+    # Perfect interleave: no run depletes twice in a row until the tail.
+    assert result.depletion_trace[:6] in ([0, 1, 0, 1, 0, 1], [1, 0, 1, 0, 1, 0])
+
+
+def test_partial_final_block_counts_as_one_depletion():
+    run = blocked(range(5), rpb=4)  # blocks of 4 + 1
+    result = merge_runs([run])
+    assert result.depletion_trace == [0, 0]
+
+
+def test_empty_run_list_rejected():
+    with pytest.raises(ValueError):
+        merge_runs([])
+
+
+def test_single_run_merge():
+    run = blocked(range(8), rpb=4)
+    result = merge_runs([run])
+    assert [r.key for r in result.records] == list(range(8))
+    assert result.depletion_trace == [0, 0]
+
+
+def test_unequal_run_lengths():
+    runs = [blocked(range(12), rpb=4), blocked(range(100, 104), rpb=4)]
+    result = merge_runs(runs)
+    assert result.blocks_per_run == [3, 1]
+    assert result.total_blocks == 4

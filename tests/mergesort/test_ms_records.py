@@ -1,0 +1,63 @@
+"""Tests for records and sortedness verification."""
+
+import pytest
+
+from repro.mergesort.records import (
+    RECORD_BYTES,
+    RECORDS_PER_BLOCK,
+    Record,
+    is_sorted,
+    make_records,
+    verify_sorted_permutation,
+)
+
+
+def test_paper_packing():
+    assert RECORD_BYTES * RECORDS_PER_BLOCK == 4096
+
+
+def test_records_order_by_key_then_tag():
+    assert Record(1, 0) < Record(2, 0)
+    assert Record(1, 0) < Record(1, 1)
+    assert Record(2, 0) > Record(1, 99)
+
+
+def test_make_records_assigns_sequential_tags():
+    records = make_records([5, 3, 5])
+    assert [r.tag for r in records] == [0, 1, 2]
+    assert [r.key for r in records] == [5, 3, 5]
+
+
+def test_is_sorted():
+    assert is_sorted(make_records([1, 2, 3]))
+    assert is_sorted([])
+    assert is_sorted(make_records([7]))
+    assert not is_sorted(make_records([2, 1]))
+
+
+def test_is_sorted_with_duplicates():
+    assert is_sorted(make_records([1, 1, 2]))  # tags break ties ascending
+
+
+def test_verify_sorted_permutation_accepts_valid_sort():
+    original = make_records([3, 1, 2])
+    verify_sorted_permutation(original, sorted(original))
+
+
+def test_verify_rejects_length_change():
+    original = make_records([1, 2])
+    with pytest.raises(AssertionError):
+        verify_sorted_permutation(original, original[:1])
+
+
+def test_verify_rejects_unsorted_output():
+    original = make_records([1, 2])
+    with pytest.raises(AssertionError):
+        verify_sorted_permutation(original, list(reversed(sorted(original))))
+
+
+def test_verify_rejects_non_permutation():
+    original = make_records([1, 2])
+    forged = [Record(1, 0), Record(3, 5)]
+    with pytest.raises(AssertionError):
+        verify_sorted_permutation(original, forged)

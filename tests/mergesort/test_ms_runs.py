@@ -1,0 +1,87 @@
+"""Tests for run formation."""
+
+import random
+
+import pytest
+
+from repro.mergesort.records import make_records
+from repro.mergesort.runs import (
+    check_runs,
+    form_runs_memory_sort,
+    form_runs_replacement_selection,
+)
+
+
+def test_memory_sort_run_sizes():
+    records = make_records(range(10, 0, -1))
+    runs = form_runs_memory_sort(records, memory_records=4)
+    assert [len(run) for run in runs] == [4, 4, 2]
+    check_runs(runs)
+
+
+def test_memory_sort_preserves_all_records():
+    records = make_records([5, 2, 9, 1, 7, 3])
+    runs = form_runs_memory_sort(records, memory_records=2)
+    flattened = [record for run in runs for record in run]
+    assert sorted(flattened) == sorted(records)
+
+
+def test_memory_sort_each_run_sorted():
+    rng = random.Random(3)
+    records = make_records([rng.randrange(100) for _ in range(57)])
+    runs = form_runs_memory_sort(records, memory_records=10)
+    check_runs(runs)
+
+
+def test_replacement_selection_runs_sorted_and_complete():
+    rng = random.Random(11)
+    records = make_records([rng.randrange(1000) for _ in range(500)])
+    runs = form_runs_replacement_selection(records, memory_records=50)
+    check_runs(runs)
+    flattened = [record for run in runs for record in run]
+    assert sorted(flattened) == sorted(records)
+
+
+def test_replacement_selection_doubles_run_length_on_random_input():
+    """Knuth's classic result: expected run length ~ 2x memory."""
+    rng = random.Random(42)
+    memory = 100
+    records = make_records([rng.randrange(1_000_000) for _ in range(20_000)])
+    runs = form_runs_replacement_selection(records, memory_records=memory)
+    mean_length = sum(len(run) for run in runs) / len(runs)
+    assert 1.6 * memory < mean_length < 2.4 * memory
+
+
+def test_replacement_selection_sorted_input_gives_one_run():
+    records = make_records(range(100))
+    runs = form_runs_replacement_selection(records, memory_records=10)
+    assert len(runs) == 1
+    assert len(runs[0]) == 100
+
+
+def test_replacement_selection_reverse_input_gives_memory_sized_runs():
+    records = make_records(range(100, 0, -1))
+    runs = form_runs_replacement_selection(records, memory_records=10)
+    assert len(runs) == 10
+    assert all(len(run) == 10 for run in runs)
+
+
+def test_memory_sort_beats_nothing_on_fewer_records_than_memory():
+    records = make_records([3, 1, 2])
+    runs = form_runs_memory_sort(records, memory_records=100)
+    assert len(runs) == 1
+    assert [r.key for r in runs[0]] == [1, 2, 3]
+
+
+def test_invalid_memory_rejected():
+    records = make_records([1])
+    with pytest.raises(ValueError):
+        form_runs_memory_sort(records, memory_records=0)
+    with pytest.raises(ValueError):
+        form_runs_replacement_selection(records, memory_records=0)
+
+
+def test_check_runs_raises_on_unsorted():
+    bad = [make_records([2, 1])]
+    with pytest.raises(AssertionError):
+        check_runs(bad)

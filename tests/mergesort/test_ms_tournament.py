@@ -1,0 +1,87 @@
+"""Tests for the loser tree."""
+
+import random
+
+import pytest
+
+from repro.mergesort.records import make_records
+from repro.mergesort.tournament import LoserTree, heap_merge
+
+
+def test_merges_two_sorted_lists():
+    tree = LoserTree([[1, 3, 5], [2, 4, 6]])
+    assert list(tree) == [1, 2, 3, 4, 5, 6]
+
+
+def test_single_source():
+    assert list(LoserTree([[1, 2, 3]])) == [1, 2, 3]
+
+
+def test_empty_sources_mixed_with_data():
+    assert list(LoserTree([[], [5], [], [1, 9]])) == [1, 5, 9]
+
+
+def test_all_sources_empty():
+    assert list(LoserTree([[], [], []])) == []
+
+
+def test_no_sources_rejected():
+    with pytest.raises(ValueError):
+        LoserTree([])
+
+
+def test_non_power_of_two_fan_in():
+    sources = [[i, i + 10, i + 20] for i in range(7)]
+    merged = list(LoserTree(sources))
+    assert merged == sorted(merged)
+    assert len(merged) == 21
+
+
+def test_duplicates_preserved():
+    tree = LoserTree([[1, 1, 2], [1, 2, 2]])
+    assert list(tree) == [1, 1, 1, 2, 2, 2]
+
+
+def test_matches_heapq_reference_on_random_inputs():
+    rng = random.Random(99)
+    for _ in range(25):
+        k = rng.randint(1, 12)
+        sources = [
+            sorted(rng.randrange(100) for _ in range(rng.randint(0, 30)))
+            for _ in range(k)
+        ]
+        expected = list(heap_merge([list(s) for s in sources]))
+        assert list(LoserTree(sources)) == expected
+
+
+def test_on_pop_reports_source_indices():
+    pops = []
+    tree = LoserTree([[1, 4], [2, 3]], on_pop=pops.append)
+    list(tree)
+    assert pops == [0, 1, 1, 0]
+
+
+def test_merges_records():
+    a = make_records([1, 5, 9])
+    b = make_records([2, 4, 8])
+    merged = list(LoserTree([sorted(a), sorted(b)]))
+    assert [r.key for r in merged] == [1, 2, 4, 5, 8, 9]
+
+
+def test_fan_in_property():
+    assert LoserTree([[1], [2], [3]]).fan_in == 3
+
+
+def test_large_fan_in_sorted_output():
+    rng = random.Random(5)
+    sources = [
+        sorted(rng.randrange(10_000) for _ in range(50)) for _ in range(64)
+    ]
+    merged = list(LoserTree(sources))
+    assert merged == sorted(merged)
+    assert len(merged) == 64 * 50
+
+
+def test_works_with_iterators_not_just_lists():
+    tree = LoserTree([iter([1, 3]), iter([2, 4])])
+    assert list(tree) == [1, 2, 3, 4]

@@ -1,0 +1,111 @@
+"""Property-based tests for the analytical models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.iotime import (
+    intra_run_multi_disk_block_ms,
+    intra_run_single_disk_block_ms,
+    no_prefetch_multi_disk_block_ms,
+    no_prefetch_single_disk_block_ms,
+)
+from repro.analysis.seek_model import SeekDistanceModel
+from repro.analysis.urn_game import (
+    expected_concurrency,
+    round_length_pmf,
+    survival_probabilities,
+)
+from repro.core.parameters import DiskParameters
+
+ks = st.integers(min_value=1, max_value=200)
+ds = st.integers(min_value=1, max_value=100)
+ns = st.integers(min_value=1, max_value=100)
+ms = st.floats(min_value=0.1, max_value=100.0)
+
+
+@given(ks)
+@settings(max_examples=100, deadline=None)
+def test_seek_pmf_is_distribution(k):
+    model = SeekDistanceModel(k)
+    values = [model.pmf(i) for i in model.support()]
+    assert all(v >= 0 for v in values)
+    assert math.isclose(sum(values), 1.0, rel_tol=1e-9)
+
+
+@given(ks)
+@settings(max_examples=100, deadline=None)
+def test_seek_expectation_consistent(k):
+    model = SeekDistanceModel(k)
+    direct = sum(i * model.pmf(i) for i in model.support())
+    assert math.isclose(model.expected_moves(), direct, rel_tol=1e-9)
+    assert model.expected_moves() <= k / 3
+
+
+@given(ds)
+@settings(max_examples=100, deadline=None)
+def test_urn_survival_is_decreasing_probability_chain(d):
+    q = survival_probabilities(d)
+    assert q[0] == 1.0
+    assert all(0.0 <= value <= 1.0 for value in q)
+    assert all(q[i] >= q[i + 1] for i in range(len(q) - 1))
+    pmf = round_length_pmf(d)
+    assert math.isclose(sum(pmf), 1.0, rel_tol=1e-9)
+
+
+@given(ds)
+@settings(max_examples=100, deadline=None)
+def test_urn_concurrency_bounds(d):
+    expected = expected_concurrency(d)
+    assert 1.0 <= expected <= d
+    # sqrt(pi*D/2) is an upper envelope up to the -1/3 correction.
+    assert expected <= math.sqrt(math.pi * d / 2) + 1.0
+
+
+@given(ks, ms, ns)
+@settings(max_examples=100, deadline=None)
+def test_intra_run_time_decreases_in_n(k, m, n):
+    disk = DiskParameters()
+    base = intra_run_single_disk_block_ms(k, m, n, disk)
+    deeper = intra_run_single_disk_block_ms(k, m, n + 1, disk)
+    assert deeper <= base + 1e-12
+    assert deeper >= disk.transfer_ms_per_block
+
+
+@given(ks, ms, ds)
+@settings(max_examples=100, deadline=None)
+def test_multi_disk_time_decreases_in_d(k, m, d):
+    disk = DiskParameters()
+    base = no_prefetch_multi_disk_block_ms(k, m, d, disk)
+    wider = no_prefetch_multi_disk_block_ms(k, m, d + 1, disk)
+    assert wider <= base + 1e-12
+
+
+@given(ks, ms)
+@settings(max_examples=100, deadline=None)
+def test_single_disk_formulas_agree_at_unit_parameters(k, m):
+    disk = DiskParameters()
+    assert math.isclose(
+        no_prefetch_single_disk_block_ms(k, m, disk),
+        intra_run_single_disk_block_ms(k, m, 1, disk),
+        rel_tol=1e-12,
+    )
+    assert math.isclose(
+        no_prefetch_single_disk_block_ms(k, m, disk),
+        no_prefetch_multi_disk_block_ms(k, m, 1, disk),
+        rel_tol=1e-12,
+    )
+    assert math.isclose(
+        intra_run_multi_disk_block_ms(k, m, 1, 1, disk),
+        no_prefetch_single_disk_block_ms(k, m, disk),
+        rel_tol=1e-12,
+    )
+
+
+@given(ks, ms, ns, ds)
+@settings(max_examples=100, deadline=None)
+def test_block_time_never_below_transfer_share(k, m, n, d):
+    disk = DiskParameters()
+    tau = intra_run_multi_disk_block_ms(k, m, n, d, disk)
+    assert tau >= disk.transfer_ms_per_block - 1e-12

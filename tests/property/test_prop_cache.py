@@ -1,0 +1,108 @@
+"""Property-based tests: cache accounting invariants under random
+
+operation sequences.  The cache must conserve space exactly and keep
+every per-run zone consistent no matter how reserve / arrive / deplete
+interleave."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import BlockCache, CacheAccountingError
+from repro.sim import Simulator
+
+
+@st.composite
+def cache_scenarios(draw):
+    runs = draw(st.integers(min_value=1, max_value=5))
+    blocks_per_run = draw(st.integers(min_value=1, max_value=20))
+    capacity = draw(st.integers(min_value=runs, max_value=80))
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["reserve", "arrive", "deplete"]),
+                st.integers(min_value=0, max_value=runs - 1),
+                st.integers(min_value=1, max_value=6),
+            ),
+            max_size=60,
+        )
+    )
+    return runs, blocks_per_run, capacity, operations
+
+
+@given(cache_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_invariants_hold_under_any_legal_sequence(scenario):
+    runs, blocks_per_run, capacity, operations = scenario
+    sim = Simulator()
+    cache = BlockCache(sim, capacity=capacity, runs=runs,
+                       blocks_per_run=blocks_per_run)
+    for op, run, amount in operations:
+        state = cache.runs[run]
+        try:
+            if op == "reserve":
+                cache.reserve(run, amount)
+            elif op == "arrive":
+                for _ in range(min(amount, state.in_flight)):
+                    cache.block_arrived(run, state.next_deplete + state.cached)
+            else:
+                for _ in range(min(amount, state.cached)):
+                    cache.deplete(run)
+        except CacheAccountingError:
+            # Illegal operations must be rejected *without* corrupting
+            # the accounting; check() below proves it.
+            pass
+        cache.check()
+    # Global conservation after the dust settles.
+    held = sum(s.cached + s.in_flight for s in cache.runs)
+    assert held + cache.free == capacity
+    assert 0 <= cache.min_free <= capacity
+
+
+@given(cache_scenarios())
+@settings(max_examples=100, deadline=None)
+def test_depletion_indices_strictly_increasing(scenario):
+    runs, blocks_per_run, capacity, operations = scenario
+    sim = Simulator()
+    cache = BlockCache(sim, capacity=capacity, runs=runs,
+                       blocks_per_run=blocks_per_run)
+    last_depleted = {run: -1 for run in range(runs)}
+    for op, run, amount in operations:
+        state = cache.runs[run]
+        try:
+            if op == "reserve":
+                cache.reserve(run, amount)
+            elif op == "arrive":
+                for _ in range(min(amount, state.in_flight)):
+                    cache.block_arrived(run, state.next_deplete + state.cached)
+            else:
+                for _ in range(min(amount, state.cached)):
+                    index = cache.deplete(run)
+                    assert index == last_depleted[run] + 1
+                    last_depleted[run] = index
+        except CacheAccountingError:
+            pass
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_full_lifecycle_returns_all_space(runs, blocks_per_run):
+    """Fetch and deplete every block of every run: cache ends empty."""
+    sim = Simulator()
+    capacity = runs * max(2, blocks_per_run // 2 + 1)
+    cache = BlockCache(sim, capacity=capacity, runs=runs,
+                       blocks_per_run=blocks_per_run)
+    for run in range(runs):
+        state = cache.runs[run]
+        while not state.finished:
+            chunk = min(blocks_per_run - state.next_fetch, cache.free, 3)
+            if chunk > 0:
+                cache.reserve(run, chunk)
+                for _ in range(chunk):
+                    cache.block_arrived(run, state.next_deplete + state.cached)
+            while state.cached:
+                cache.deplete(run)
+    assert cache.free == capacity
+    cache.check()

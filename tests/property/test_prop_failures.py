@@ -1,0 +1,107 @@
+"""Failure injection: errors must surface cleanly, never corrupt state.
+
+The simulation is built from cooperating processes; a fault inside any
+of them (a bad depletion source, a broken address resolver, a failed
+event) must propagate to the caller as an exception -- not hang the
+event loop or silently produce a wrong result.
+"""
+
+import pytest
+
+from repro.core.cache import CacheAccountingError
+from repro.core.merge_sim import MergeTrial
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.sim import AllOf, Event, ProcessFailure, Simulator
+
+
+def config(**kwargs):
+    defaults = dict(
+        num_runs=4, num_disks=2, blocks_per_run=20, trials=1,
+        strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=2,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def test_depletion_source_exhausting_early_raises():
+    short_source = iter([0, 1])  # far fewer than 80 blocks
+    with pytest.raises((RuntimeError, StopIteration, ProcessFailure)):
+        MergeTrial(config(), seed=1, depletion_source=short_source).run()
+
+
+def test_depletion_source_raising_mid_merge_propagates():
+    def poisoned():
+        yield 0
+        yield 1
+        raise ValueError("injected fault")
+
+    with pytest.raises((ValueError, ProcessFailure)) as excinfo:
+        MergeTrial(config(), seed=1, depletion_source=poisoned()).run()
+    # The injected fault is the root cause, not some secondary error.
+    exc = excinfo.value
+    while exc.__cause__ is not None:
+        exc = exc.__cause__
+    assert isinstance(exc, ValueError)
+
+
+def test_depletion_source_repeating_finished_run_raises():
+    # Run 0 has 20 blocks; the 21st depletion of it must be rejected.
+    bad = iter([0] * 21 + [1] * 60)
+    with pytest.raises(RuntimeError, match="finished/unknown"):
+        MergeTrial(config(), seed=1, depletion_source=bad).run()
+
+
+def test_broken_address_resolver_surfaces_process_failure():
+    trial = MergeTrial(config(), seed=1)
+
+    def broken(request):
+        raise OSError("disk controller fault")
+
+    for drive in trial.drives:
+        drive._address_of = broken
+    with pytest.raises(Exception) as excinfo:
+        trial.run()
+    exc = excinfo.value
+    while exc.__cause__ is not None:
+        exc = exc.__cause__
+    assert isinstance(exc, OSError)
+
+
+def test_cache_misuse_detected_not_silently_absorbed():
+    trial = MergeTrial(config(), seed=1)
+    trial.cache.preload(0, 1)
+    with pytest.raises(CacheAccountingError):
+        trial.cache.block_arrived(0, 0)  # nothing in flight
+
+
+def test_failed_event_propagates_through_allof_to_process():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = Event(sim)
+    bad.fail(ConnectionError("link down"), delay=2.0)
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(sim, [good, bad])
+        except ConnectionError as exc:
+            caught.append(exc)
+
+    sim.process(waiter())
+    sim.run()
+    assert len(caught) == 1
+
+
+def test_run_raises_if_merge_process_dies():
+    """MergeTrial.run re-raises rather than returning bogus metrics."""
+    source = iter([99])  # invalid run id
+    with pytest.raises(RuntimeError):
+        MergeTrial(config(), seed=1, depletion_source=source).run()
+
+
+def test_state_not_reusable_after_failure():
+    """A trial whose process failed must not report completion."""
+    trial = MergeTrial(config(), seed=1, depletion_source=iter([0]))
+    with pytest.raises(Exception):
+        trial.run()
+    assert trial._blocks_depleted < trial.config.total_blocks

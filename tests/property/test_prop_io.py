@@ -1,0 +1,74 @@
+"""Property-based tests for the file-backed sorting stack."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io.blockio import BlockReader, BlockWriter
+from repro.io.codec import RecordCodec
+from repro.io.filesort import FileSorter, verify_sorted_file
+from repro.mergesort.records import Record
+
+keys = st.integers(min_value=-(2**40), max_value=2**40)
+tags = st.integers(min_value=0, max_value=2**40)
+
+io_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@given(key=keys, tag=tags, record_bytes=st.sampled_from([16, 32, 64, 128]))
+@settings(max_examples=150, deadline=None)
+def test_codec_roundtrip_any_record(key, tag, record_bytes):
+    codec = RecordCodec(record_bytes=record_bytes)
+    record = Record(key=key, tag=tag)
+    assert codec.decode(codec.encode(record)) == record
+
+
+@given(st.lists(st.tuples(keys, tags), max_size=200))
+@io_settings
+def test_blockfile_roundtrip_any_records(tmp_path, pairs):
+    path = tmp_path / "run.blk"
+    records = [Record(key=k, tag=t) for k, t in pairs]
+    with BlockWriter(path) as writer:
+        writer.write_many(records)
+    assert list(BlockReader(path)) == records
+
+
+@given(
+    st.lists(st.tuples(keys, tags), min_size=1, max_size=300),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=3),
+)
+@io_settings
+def test_filesort_sorts_any_input(tmp_path, pairs, memory, dirs):
+    input_path = tmp_path / "input.blk"
+    records = [Record(key=k, tag=t) for k, t in pairs]
+    with BlockWriter(input_path) as writer:
+        writer.write_many(records)
+    sorter = FileSorter(
+        memory_records=memory,
+        temp_dirs=[tmp_path / f"d{i}" for i in range(dirs)],
+    )
+    output_path = tmp_path / "out.blk"
+    stats = sorter.sort_file(input_path, output_path)
+    assert stats.records == len(records)
+    assert verify_sorted_file(output_path) == len(records)
+    assert sorted(BlockReader(input_path)) == list(BlockReader(output_path))
+
+
+@given(
+    st.lists(st.tuples(keys, tags), min_size=1, max_size=200),
+    st.integers(min_value=1, max_value=30),
+)
+@io_settings
+def test_filesort_trace_accounting(tmp_path, pairs, memory):
+    input_path = tmp_path / "input.blk"
+    records = [Record(key=k, tag=t) for k, t in pairs]
+    with BlockWriter(input_path) as writer:
+        writer.write_many(records)
+    sorter = FileSorter(memory_records=memory, temp_dirs=[tmp_path / "d"])
+    stats = sorter.sort_file(input_path, tmp_path / "out.blk")
+    assert len(stats.depletion_trace) == stats.total_run_blocks
+    assert stats.runs == -(-len(records) // memory)

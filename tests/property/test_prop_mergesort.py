@@ -1,0 +1,88 @@
+"""Property-based tests for the mergesort substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mergesort.external import ExternalMergesort
+from repro.mergesort.merge import BlockedRun, merge_runs
+from repro.mergesort.records import is_sorted, make_records
+from repro.mergesort.runs import (
+    form_runs_memory_sort,
+    form_runs_replacement_selection,
+)
+from repro.mergesort.tournament import LoserTree, heap_merge
+
+keys_lists = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=80)
+
+
+@given(st.lists(keys_lists, min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_loser_tree_equals_heapq_merge(sources):
+    sorted_sources = [sorted(source) for source in sources]
+    expected = list(heap_merge([list(s) for s in sorted_sources]))
+    assert list(LoserTree(sorted_sources)) == expected
+
+
+@given(keys_lists.filter(bool), st.integers(min_value=1, max_value=20))
+@settings(max_examples=150, deadline=None)
+def test_memory_sort_runs_partition_input(keys, memory):
+    records = make_records(keys)
+    runs = form_runs_memory_sort(records, memory)
+    assert sorted(r for run in runs for r in run) == sorted(records)
+    for run in runs:
+        assert is_sorted(run)
+        assert len(run) <= memory
+
+
+@given(keys_lists.filter(bool), st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_replacement_selection_runs_partition_input(keys, memory):
+    records = make_records(keys)
+    runs = form_runs_replacement_selection(records, memory)
+    assert sorted(r for run in runs for r in run) == sorted(records)
+    for run in runs:
+        assert is_sorted(run)
+
+
+@given(
+    st.lists(keys_lists, min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_traced_merge_sorts_and_traces_every_block(sources, rpb):
+    runs = [
+        BlockedRun.from_records(sorted(make_records(source)), rpb)
+        for source in sources
+    ]
+    result = merge_runs(runs)
+    assert is_sorted(result.records)
+    assert len(result.records) == sum(len(source) for source in sources)
+    assert len(result.depletion_trace) == sum(run.num_blocks for run in runs)
+    for index, run in enumerate(runs):
+        assert result.depletions_of(index) == run.num_blocks
+
+
+@given(
+    keys_lists.filter(lambda keys: len(keys) >= 1),
+    st.integers(min_value=1, max_value=30),
+    st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_external_sort_is_correct_for_any_input(keys, memory, replacement):
+    records = make_records(keys)
+    sorter = ExternalMergesort(
+        memory_records=memory,
+        records_per_block=4,
+        replacement_selection=replacement,
+    )
+    stats = sorter.sort(records)  # verify=True raises on any violation
+    assert len(stats.output) == len(records)
+
+
+@given(keys_lists.filter(lambda keys: len(keys) >= 10))
+@settings(max_examples=50, deadline=None)
+def test_multi_pass_sort_equals_single_pass(keys):
+    records = make_records(keys)
+    single = ExternalMergesort(memory_records=3).sort(records)
+    multi = ExternalMergesort(memory_records=3, max_fan_in=2).sort(records)
+    assert single.output == multi.output

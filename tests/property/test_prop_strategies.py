@@ -1,0 +1,120 @@
+"""Property-based tests on fetch planners.
+
+Whatever the cache state, a plan must: start with a demand group for
+the demand run, never oversubscribe free space (conservative/greedy/
+adaptive all reserve at most ``free``... except the guaranteed single
+demand block), touch each disk at most once, and never fetch beyond a
+run's end.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import BlockCache
+from repro.core.parameters import CachePolicy, VictimSelector
+from repro.core.strategies import InterRunPlanner, VictimChooser
+from repro.disks.layout import RunLayout
+from repro.sim import Simulator
+
+
+class View:
+    def __init__(self, k, d, blocks_per_run, capacity):
+        sim = Simulator()
+        self.layout = RunLayout(num_runs=k, num_disks=d,
+                                blocks_per_run=blocks_per_run)
+        self.cache = BlockCache(sim, capacity=capacity, runs=k,
+                                blocks_per_run=blocks_per_run)
+
+    def head_cylinder(self, disk):
+        return 0
+
+
+@st.composite
+def planner_scenarios(draw):
+    d = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=d, max_value=3 * d))
+    blocks_per_run = draw(st.integers(min_value=2, max_value=30))
+    depth = draw(st.integers(min_value=1, max_value=8))
+    capacity = draw(st.integers(min_value=k + 1, max_value=k * blocks_per_run))
+    policy = draw(st.sampled_from(list(CachePolicy)))
+    selector = draw(st.sampled_from(list(VictimSelector)))
+    adaptive = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+
+    view = View(k, d, blocks_per_run, capacity)
+    # Random plausible state: preload some blocks, reserve some, deplete
+    # some -- then force the demand run's cache empty.
+    rng = random.Random(seed)
+    demand_run = rng.randrange(k)
+    # The demand run is preloaded first and with >= 1 block: in the real
+    # simulator a demand situation is always preceded by a depletion of
+    # that run, which guarantees >= 1 free slot afterwards.
+    most = min(3, blocks_per_run - 1, view.cache.free)
+    view.cache.preload(demand_run, rng.randint(1, max(1, most)))
+    for run in range(k):
+        if run == demand_run:
+            continue
+        state = view.cache.runs[run]
+        amount = rng.randint(0, min(3, state.on_disk, view.cache.free))
+        if amount:
+            view.cache.preload(run, amount)
+    demand_state = view.cache.runs[demand_run]
+    while demand_state.cached:
+        view.cache.deplete(demand_run)
+    # Demand situation requires blocks left on disk for the run.
+    if demand_state.on_disk == 0:
+        return None
+    planner = InterRunPlanner(
+        depth,
+        num_disks=d,
+        policy=policy,
+        chooser=VictimChooser(selector, random.Random(seed + 1)),
+        rng=random.Random(seed + 2),
+        adaptive=adaptive,
+    )
+    return view, planner, demand_run
+
+
+@given(planner_scenarios())
+@settings(max_examples=300, deadline=None)
+def test_plans_are_always_well_formed(scenario):
+    if scenario is None:
+        return
+    view, planner, demand_run = scenario
+    plan = planner.plan(view, demand_run)
+
+    # Demand group first, for the demand run, at least one block.
+    assert plan.groups[0].run == demand_run
+    assert plan.groups[0].demand
+    assert plan.groups[0].count >= 1
+
+    # One group per disk at most; no group beyond a run's end.
+    disks = [view.layout.disk_of_run(group.run) for group in plan.groups]
+    assert len(disks) == len(set(disks))
+    for group in plan.groups:
+        state = view.cache.runs[group.run]
+        assert group.count <= state.on_disk
+
+    # Never oversubscribe: the whole plan must be reservable (the single
+    # demand block is guaranteed by the depletion that preceded it).
+    assert plan.total_blocks <= max(view.cache.free, 1)
+
+    # The plan must actually be executable against the cache.
+    for group in plan.groups:
+        view.cache.reserve(group.run, group.count)
+    view.cache.check()
+
+
+@given(planner_scenarios())
+@settings(max_examples=150, deadline=None)
+def test_full_prefetch_flag_meaning(scenario):
+    if scenario is None:
+        return
+    view, planner, demand_run = scenario
+    free_before = view.cache.free
+    plan = planner.plan(view, demand_run)
+    if plan.full_prefetch and not planner.adaptive:
+        # A full prefetch means the D*N check passed at decision time.
+        assert free_before >= planner.depth * planner.num_disks

@@ -1,0 +1,125 @@
+"""Tests for event primitives: Event, Timeout, AllOf, AnyOf."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator, Timeout
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    event = Event(sim)
+    assert not event.triggered and not event.fired
+    event.succeed("value")
+    assert event.triggered and not event.fired
+    sim.run()
+    assert event.fired and event.ok
+    assert event.value == "value"
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = Event(sim)
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError("boom"))
+
+
+def test_value_before_fire_raises():
+    sim = Simulator()
+    event = Event(sim)
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_failed_event_raises_on_value():
+    sim = Simulator()
+    event = Event(sim)
+    error = RuntimeError("boom")
+    event.fail(error)
+    sim.run()
+    assert event.exception is error
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Event(sim).fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callback_after_fire_runs_immediately():
+    sim = Simulator()
+    event = Event(sim)
+    event.succeed(42)
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [42]
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    timeout = Timeout(sim, 2.0, value="done")
+    sim.run()
+    assert timeout.value == "done"
+    assert sim.now == 2.0
+
+
+def test_allof_waits_for_all_children():
+    sim = Simulator()
+    events = [sim.timeout(1.0, "a"), sim.timeout(3.0, "b"), sim.timeout(2.0, "c")]
+    combined = AllOf(sim, events)
+    sim.run()
+    assert combined.fired
+    assert combined.value == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    combined = AllOf(sim, [])
+    sim.run()
+    assert combined.fired and combined.value == []
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = Event(sim)
+    bad.fail(ValueError("bad"), delay=2.0)
+    combined = AllOf(sim, [good, bad])
+    sim.run()
+    assert isinstance(combined.exception, ValueError)
+
+
+def test_anyof_fires_on_first_child():
+    sim = Simulator()
+    slow = sim.timeout(5.0, "slow")
+    fast = sim.timeout(1.0, "fast")
+    combined = AnyOf(sim, [slow, fast])
+    sim.run()
+    winner = combined.value
+    assert winner is fast
+    assert winner.value == "fast"
+
+
+def test_anyof_does_not_fail_after_success():
+    sim = Simulator()
+    fast = sim.timeout(1.0)
+    bad = Event(sim)
+    bad.fail(ValueError("late"), delay=2.0)
+    combined = AnyOf(sim, [fast, bad])
+    sim.run()
+    assert combined.ok
+
+
+def test_allof_preserves_construction_order_of_values():
+    sim = Simulator()
+    late = sim.timeout(9.0, "late")
+    early = sim.timeout(1.0, "early")
+    combined = AllOf(sim, [late, early])
+    sim.run()
+    assert combined.value == ["late", "early"]

@@ -1,0 +1,53 @@
+"""Tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_deterministic_across_factories():
+    first = RandomStreams(42).stream("disk-0")
+    second = RandomStreams(42).stream("disk-0")
+    assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_sequences():
+    streams = RandomStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_sequences():
+    a = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_spawn_offsets_seed():
+    base = RandomStreams(100)
+    sibling = base.spawn(3)
+    assert sibling.seed == 103
+    assert sibling.stream("x").random() == RandomStreams(103).stream("x").random()
+
+
+def test_draws_from_one_stream_do_not_disturb_another():
+    streams = RandomStreams(7)
+    reference_factory = RandomStreams(7)
+    b_reference = [reference_factory.stream("b").random() for _ in range(3)]
+    # Consume heavily from "a" first.
+    a = streams.stream("a")
+    for _ in range(1000):
+        a.random()
+    b = [streams.stream("b").random() for _ in range(3)]
+    assert b == b_reference
+
+
+def test_repr_lists_created_streams():
+    streams = RandomStreams(5)
+    streams.stream("zeta")
+    streams.stream("alpha")
+    assert "alpha" in repr(streams) and "zeta" in repr(streams)

@@ -1,0 +1,154 @@
+"""Tests for Store, PriorityStore and Resource."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+from repro.sim.resources import PriorityStore
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("item")
+    got = store.get()
+    sim.run()
+    assert got.value == "item"
+
+
+def test_store_is_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    received = [store.get(), store.get(), store.get()]
+    sim.run()
+    assert [event.value for event in received] == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer():
+        item = yield store.get()
+        log.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(4.0)
+        store.put("late-item")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert log == [(4.0, "late-item")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    sim.run()
+    assert first.fired
+    assert not second.fired
+    got = store.get()
+    sim.run()
+    assert got.value == "a"
+    assert second.fired
+    assert len(store) == 1
+
+
+def test_store_len_and_waiting_counters():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    store.put("x")
+    sim.run()
+    assert len(store) == 1
+    store.get()
+    store.get()
+    sim.run()
+    assert store.waiting_getters == 1
+
+
+def test_store_rejects_nonpositive_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_priority_store_returns_smallest():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    for item in (5, 1, 3):
+        store.put(item)
+    got = [store.get(), store.get(), store.get()]
+    sim.run()
+    assert [event.value for event in got] == [1, 3, 5]
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def worker(name, hold):
+        yield resource.request()
+        log.append((sim.now, name, "acquire"))
+        yield sim.timeout(hold)
+        log.append((sim.now, name, "release"))
+        resource.release()
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    assert log == [
+        (0.0, "a", "acquire"),
+        (2.0, "a", "release"),
+        (2.0, "b", "acquire"),
+        (3.0, "b", "release"),
+    ]
+
+
+def test_resource_capacity_two_allows_overlap():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    acquired_at = []
+
+    def worker():
+        yield resource.request()
+        acquired_at.append(sim.now)
+        yield sim.timeout(1.0)
+        resource.release()
+
+    for _ in range(3):
+        sim.process(worker())
+    sim.run()
+    assert acquired_at == [0.0, 0.0, 1.0]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_cancel_pending_request():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    pending = resource.request()
+    assert resource.cancel(pending)
+    assert not resource.cancel(pending)
+    assert resource.queue_length == 0
+
+
+def test_resource_counters():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    resource.request()
+    resource.request()
+    resource.request()
+    assert resource.in_use == 2
+    assert resource.queue_length == 1

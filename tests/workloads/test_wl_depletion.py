@@ -1,0 +1,135 @@
+"""Tests for the random block-depletion process."""
+
+import pytest
+
+from repro.workloads.depletion import (
+    DepletionTrace,
+    random_depletion_sequence,
+    trace_statistics,
+)
+
+
+def test_sequence_depletes_every_block():
+    trace = list(random_depletion_sequence(5, 20, seed=1))
+    assert len(trace) == 100
+    for run in range(5):
+        assert trace.count(run) == 20
+
+
+def test_sequence_deterministic_by_seed():
+    a = list(random_depletion_sequence(5, 20, seed=9))
+    b = list(random_depletion_sequence(5, 20, seed=9))
+    assert a == b
+    c = list(random_depletion_sequence(5, 20, seed=10))
+    assert a != c
+
+
+def test_finished_runs_never_chosen_again():
+    trace = list(random_depletion_sequence(3, 5, seed=2))
+    last_seen = {run: max(i for i, r in enumerate(trace) if r == run)
+                 for run in range(3)}
+    for run, position in last_seen.items():
+        assert trace[position:].count(run) == 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        list(random_depletion_sequence(0, 10, seed=1))
+    with pytest.raises(ValueError):
+        list(random_depletion_sequence(1, 0, seed=1))
+
+
+def test_skewed_sequence_depletes_everything():
+    from repro.workloads.depletion import skewed_depletion_sequence
+
+    trace = list(skewed_depletion_sequence(5, 20, seed=1, alpha=1.5))
+    assert len(trace) == 100
+    for run in range(5):
+        assert trace.count(run) == 20
+
+
+def test_skewed_sequence_alpha_zero_is_uniformish():
+    from repro.workloads.depletion import skewed_depletion_sequence
+
+    trace = list(skewed_depletion_sequence(4, 500, seed=2, alpha=0.0))
+    # Early counts roughly balanced (first half of the trace).
+    early = trace[:1000]
+    counts = [early.count(run) for run in range(4)]
+    assert max(counts) - min(counts) < 150
+
+
+def test_skewed_sequence_prefers_low_runs():
+    from repro.workloads.depletion import skewed_depletion_sequence
+
+    trace = list(skewed_depletion_sequence(4, 500, seed=3, alpha=2.0))
+    first_finish = {run: trace.index(run) for run in range(4)}
+    # Run 0 is hottest: it finishes its 500 blocks earliest.
+    last_seen = {run: max(i for i, r in enumerate(trace) if r == run)
+                 for run in range(4)}
+    assert last_seen[0] == min(last_seen.values())
+    assert first_finish[0] == 0 or trace[:20].count(0) >= trace[:20].count(3)
+
+
+def test_skewed_sequence_invalid_arguments():
+    from repro.workloads.depletion import skewed_depletion_sequence
+
+    with pytest.raises(ValueError):
+        list(skewed_depletion_sequence(0, 10, seed=1))
+    with pytest.raises(ValueError):
+        list(skewed_depletion_sequence(2, 10, seed=1, alpha=-1))
+
+
+def test_skewed_sequence_deterministic():
+    from repro.workloads.depletion import skewed_depletion_sequence
+
+    a = list(skewed_depletion_sequence(5, 30, seed=9, alpha=1.0))
+    b = list(skewed_depletion_sequence(5, 30, seed=9, alpha=1.0))
+    assert a == b
+
+
+def test_trace_counts():
+    trace = DepletionTrace.random(4, 10, seed=3)
+    assert trace.counts() == [10, 10, 10, 10]
+    assert len(trace) == 40
+
+
+def test_trace_from_sequence_validates_runs():
+    DepletionTrace.from_sequence([0, 1, 0], num_runs=2)
+    with pytest.raises(ValueError):
+        DepletionTrace.from_sequence([0, 2], num_runs=2)
+
+
+def test_move_distances():
+    trace = DepletionTrace.from_sequence([0, 3, 1, 1], num_runs=4)
+    assert trace.move_distances() == [3, 2, 0]
+
+
+def test_interleave_factor_bounds():
+    random_trace = DepletionTrace.random(10, 100, seed=4)
+    # Uniform choice over 10 runs switches ~90% of steps.
+    assert 0.85 < random_trace.interleave_factor() < 0.95
+    sequential = DepletionTrace.from_sequence([0] * 10 + [1] * 10, num_runs=2)
+    assert sequential.interleave_factor() == pytest.approx(1 / 19)
+
+
+def test_mean_move_distance_tracks_seek_model():
+    """Empirical mean move distance ~ k/3 while all runs are alive."""
+    k = 25
+    trace = DepletionTrace.random(k, 400, seed=5)
+    stats = trace_statistics(trace)
+    # The tail (runs finishing) pulls the mean down slightly.
+    assert 0.85 * k / 3 < stats["mean_move_distance"] < 1.05 * k / 3
+
+
+def test_trace_statistics_keys():
+    trace = DepletionTrace.random(3, 5, seed=6)
+    stats = trace_statistics(trace)
+    assert set(stats) == {"length", "mean_move_distance", "interleave_factor"}
+    assert stats["length"] == 15.0
+
+
+def test_empty_ish_trace_statistics():
+    trace = DepletionTrace.from_sequence([0], num_runs=1)
+    stats = trace_statistics(trace)
+    assert stats["mean_move_distance"] == 0.0
+    assert stats["interleave_factor"] == 0.0

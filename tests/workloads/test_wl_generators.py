@@ -1,0 +1,61 @@
+"""Tests for record-key generators."""
+
+import pytest
+
+from repro.workloads import generators
+
+
+def test_uniform_keys_deterministic_and_in_range():
+    keys = generators.uniform_keys(1000, seed=1, key_range=100)
+    assert keys == generators.uniform_keys(1000, seed=1, key_range=100)
+    assert all(0 <= k < 100 for k in keys)
+
+
+def test_uniform_keys_seed_matters():
+    assert generators.uniform_keys(50, seed=1) != generators.uniform_keys(50, seed=2)
+
+
+def test_gaussian_keys_centered():
+    keys = generators.gaussian_keys(5000, seed=2, mean=0.0, stddev=100.0)
+    mean = sum(keys) / len(keys)
+    assert abs(mean) < 10.0
+
+
+def test_sorted_keys():
+    keys = generators.sorted_keys(100)
+    assert keys == sorted(keys)
+    assert len(keys) == 100
+
+
+def test_reverse_sorted_keys():
+    keys = generators.reverse_sorted_keys(100)
+    assert keys == sorted(keys, reverse=True)
+
+
+def test_nearly_sorted_keys_mostly_ordered():
+    keys = generators.nearly_sorted_keys(1000, seed=3, displacement=4)
+    inversions = sum(1 for i in range(len(keys) - 1) if keys[i] > keys[i + 1])
+    assert inversions < len(keys) / 2
+    assert keys != sorted(keys)  # but not perfectly sorted
+
+
+def test_zipf_keys_skewed():
+    keys = generators.zipf_keys(10_000, seed=4, alpha=1.5, universe=100)
+    assert all(0 <= k < 100 for k in keys)
+    counts = [keys.count(v) for v in range(5)]
+    # Rank 0 dominates rank 4 heavily under alpha=1.5.
+    assert counts[0] > 3 * counts[4]
+
+
+def test_zipf_invalid_parameters():
+    with pytest.raises(ValueError):
+        generators.zipf_keys(10, seed=1, alpha=0)
+    with pytest.raises(ValueError):
+        generators.zipf_keys(10, seed=1, universe=0)
+
+
+def test_generators_return_requested_count():
+    assert len(generators.uniform_keys(7, seed=1)) == 7
+    assert len(generators.gaussian_keys(7, seed=1)) == 7
+    assert len(generators.nearly_sorted_keys(7, seed=1)) == 7
+    assert len(generators.zipf_keys(7, seed=1)) == 7

@@ -2,16 +2,21 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench check reproduce reproduce-quick clean
+.PHONY: install test test-fast sweep-smoke bench check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+	$(PYTHON) scripts/sweep_smoke.py
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Tiny 2-worker sweep; verifies the second pass is 100% cache hits.
+sweep-smoke:
+	$(PYTHON) scripts/sweep_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the sweep subsystem (``make sweep-smoke``).
+
+Runs a tiny 8-job campaign on a 2-worker pool into a throwaway cache
+directory, then re-runs it and verifies the second pass is served
+entirely from the cache with results identical to the first.  Exits
+non-zero on any violation.  Finishes in a couple of seconds.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.sweep import ResultStore, SweepEngine, SweepSpec  # noqa: E402
+
+SPEC = SweepSpec(
+    name="smoke",
+    base={"num_runs": 4, "strategy": "intra-run", "blocks_per_run": 40},
+    grid={"num_disks": [1, 2], "prefetch_depth": [2, 3]},
+    trials=2,
+)
+
+
+def main() -> int:
+    jobs = len(SPEC.jobs())
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-smoke-") as tmp:
+        store = ResultStore(tmp)
+
+        cold = SweepEngine(store=store, workers=2).run_spec(SPEC)
+        print(f"[sweep-smoke] cold: {cold.stats.summary()}")
+        if cold.stats.computed != jobs or cold.failures:
+            print("[sweep-smoke] FAIL: cold run did not compute every job")
+            return 1
+
+        warm = SweepEngine(store=store, workers=2).run_spec(SPEC)
+        print(f"[sweep-smoke] warm: {warm.stats.summary()}")
+        if warm.stats.cached != jobs or warm.stats.computed != 0:
+            print("[sweep-smoke] FAIL: warm run was not 100% cache hits")
+            return 1
+
+        dump = lambda cells: json.dumps([c.to_dict() for c in cells])  # noqa: E731
+        if dump(cold.cells) != dump(warm.cells):
+            print("[sweep-smoke] FAIL: cached results differ from computed")
+            return 1
+
+    print(f"[sweep-smoke] ok: {jobs} jobs, second pass 100% cached")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,9 @@ Subpackages:
 * :mod:`repro.workloads` -- depletion sequences and data generators.
 * :mod:`repro.experiments` -- one registered experiment per paper
   figure/table, plus ablations.
+* :mod:`repro.sweep` -- parallel parameter sweeps over a worker pool
+  with a persistent, content-addressed result cache and resumable
+  campaigns.
 """
 
 from repro.core import (

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --out results.txt
     python -m repro paper-check
     python -m repro simulate -k 25 -D 5 --strategy inter-run -N 10
+    python -m repro sweep -k 25 -D 1,2,5 --strategy intra-run -N 5,10,20 \
+        --workers 4 --blocks 200
 """
 
 from __future__ import annotations
@@ -45,6 +47,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--export-dir",
         help="also export JSON + CSV per experiment into this directory",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="fan simulations out through the sweep engine with this many "
+        "worker processes (and the persistent result cache)",
+    )
+    run.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory used with --workers "
+        "(default results/cache)",
     )
 
     sub.add_parser(
@@ -124,6 +136,49 @@ def _build_parser() -> argparse.ArgumentParser:
     sort.add_argument("--verify", action="store_true",
                       help="re-read and check the output after sorting")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel parameter sweep with a persistent result cache; "
+        "comma-separate a flag's values to sweep it "
+        "(e.g. -D 1,2,5 -N 5,10,20)",
+    )
+    sweep.add_argument("-k", "--runs", default="25",
+                       help="number of runs k (comma list to sweep)")
+    sweep.add_argument("-D", "--disks", default="1",
+                       help="number of disks D (comma list to sweep)")
+    sweep.add_argument(
+        "--strategy", default=PrefetchStrategy.NONE.value,
+        help="prefetch strategy (comma list to sweep): "
+        + ", ".join(s.value for s in PrefetchStrategy),
+    )
+    sweep.add_argument("-N", "--depth", default="1",
+                       help="prefetch depth N (comma list to sweep)")
+    sweep.add_argument("--cache", default=None,
+                       help="cache capacity C in blocks (comma list to sweep)")
+    sweep.add_argument("--cpu-ms", default="0.0",
+                       help="CPU ms per block (comma list to sweep)")
+    sweep.add_argument("--blocks", type=int, default=1000)
+    sweep.add_argument("--trials", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=1992)
+    sweep.add_argument("--sync", action="store_true")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = inline)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retry attempts per failed job")
+    sweep.add_argument("--cache-dir", default="results/cache",
+                       help="persistent result cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    sweep.add_argument("--name", default="cli-sweep",
+                       help="campaign name (checkpoint manifest key)")
+    sweep.add_argument("--export", help="write full sweep results JSON here")
+    sweep.add_argument("--progress-json",
+                       help="write final progress counters JSON here")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
     simulate = sub.add_parser("simulate", help="run one custom configuration")
     simulate.add_argument("-k", "--runs", type=int, required=True)
     simulate.add_argument("-D", "--disks", type=int, required=True)
@@ -188,7 +243,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = args.ids
     if ids == ["all"]:
         ids = default_experiment_ids()
-    results = run_experiments(ids, scale)
+    engine = None
+    if args.workers is not None:
+        from repro.sweep import ResultStore, SweepEngine
+
+        engine = SweepEngine(
+            store=ResultStore(args.cache_dir or "results/cache"),
+            workers=args.workers,
+        )
+    results = run_experiments(ids, scale, engine=engine)
     if args.out:
         with open(args.out, "w") as handle:
             for result in results:
@@ -200,6 +263,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         written = export_results(results, args.export_dir)
         print(f"{len(written)} files exported to {args.export_dir}")
+    from repro.experiments.runner import failed_experiment_ids
+
+    failed = failed_experiment_ids(results)
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}")
+        return 1
     return 0
 
 
@@ -399,6 +468,105 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_list(text: str, convert) -> list:
+    """Parse a comma-separated CLI value into a typed list."""
+    return [convert(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.config import Table
+    from repro.sweep import (
+        ConsoleProgress,
+        NullProgress,
+        ResultStore,
+        SweepEngine,
+        SweepSpec,
+    )
+
+    # Swept axes: every comma-listed flag becomes a grid dimension (in
+    # this fixed order); single values stay in the base config.
+    axes = [
+        ("num_runs", _split_list(args.runs, int)),
+        ("num_disks", _split_list(args.disks, int)),
+        ("strategy", _split_list(args.strategy, str)),
+        ("prefetch_depth", _split_list(args.depth, int)),
+        ("cpu_ms_per_block", _split_list(args.cpu_ms, float)),
+    ]
+    if args.cache is not None:
+        axes.append(("cache_capacity", _split_list(args.cache, int)))
+    base: dict = {
+        "blocks_per_run": args.blocks,
+        "synchronized": args.sync,
+    }
+    grid: dict = {}
+    for name, values in axes:
+        if len(values) > 1:
+            grid[name] = values
+        elif values:
+            base[name] = values[0]
+    spec = SweepSpec(
+        name=args.name,
+        base=base,
+        grid=grid,
+        trials=args.trials,
+        base_seed=args.seed,
+    )
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    try:
+        engine = SweepEngine(
+            store=store,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            progress=NullProgress() if args.quiet else ConsoleProgress(),
+            allow_partial=True,
+        )
+        result = engine.run_spec(spec)
+    except ValueError as exc:
+        # Bad grid values (unknown strategy, cache below minimum, ...)
+        # or a campaign-name conflict: report cleanly, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    table = Table(
+        title=f"sweep '{spec.name}': {len(result.cells)} configurations, "
+        f"{spec.trials} trial(s) each",
+        headers=["configuration", "time_s", "±95%", "success", "disks_busy"],
+        rows=[],
+    )
+    for cell in result.cells:
+        if not cell.trials:
+            table.rows.append([cell.config_description, "FAILED", "", "", ""])
+            continue
+        time_s = cell.total_time_s
+        low, high = time_s.confidence_interval()
+        table.rows.append([
+            cell.config_description,
+            time_s.mean,
+            (high - low) / 2.0,
+            cell.success_ratio.mean,
+            cell.average_concurrency.mean,
+        ])
+    print(table.render())
+    print()
+    print(result.stats.summary())
+    if result.failures:
+        print(f"{len(result.failures)} job(s) failed permanently:")
+        for failure in result.failures:
+            print(f"  {failure.description}: {failure.error}")
+    if args.export:
+        import json
+
+        with open(args.export, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"sweep results written to {args.export}")
+    if args.progress_json:
+        result.stats.export_json(args.progress_json)
+        print(f"progress counters written to {args.progress_json}")
+    return 1 if result.failures else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         num_runs=args.runs,
@@ -462,6 +630,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gen(args)
     if args.command == "sort":
         return _cmd_sort(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command}")

@@ -111,6 +111,60 @@ class MergeMetrics:
     cache_timeline: Optional[list[tuple[float, float]]] = None
     request_traces: Optional[list] = None
 
+    #: Scalar fields serialized verbatim by :meth:`to_dict`.
+    _SCALAR_FIELDS = (
+        "config_description", "seed", "total_time_ms", "blocks_depleted",
+        "blocks_fetched", "fetch_requests", "demand_situations",
+        "demand_hits_in_flight", "fetch_decisions", "full_prefetch_decisions",
+        "cpu_stall_ms", "cpu_busy_ms", "average_concurrency",
+        "peak_concurrency", "disk_busy_fraction", "cache_min_free",
+        "cache_mean_occupancy", "cache_peak_occupancy", "blocks_written",
+        "write_stall_ms", "write_stalls",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot of one trial.
+
+        Everything round-trips through :meth:`from_dict`, including the
+        optional timelines and request traces, so cached sweep results
+        are interchangeable with freshly simulated ones.
+        """
+        data = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        data["drive_stats"] = [stats.to_dict() for stats in self.drive_stats]
+        for name in ("concurrency_timeline", "cache_timeline"):
+            timeline = getattr(self, name)
+            data[name] = (
+                None if timeline is None else [[t, v] for t, v in timeline]
+            )
+        data["request_traces"] = (
+            None
+            if self.request_traces is None
+            else [trace.to_dict() for trace in self.request_traces]
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MergeMetrics":
+        """Inverse of :meth:`to_dict`."""
+        from repro.core.tracing import RequestTrace
+
+        kwargs = {name: data[name] for name in cls._SCALAR_FIELDS}
+        kwargs["drive_stats"] = [
+            DriveStats.from_dict(stats) for stats in data["drive_stats"]
+        ]
+        for name in ("concurrency_timeline", "cache_timeline"):
+            timeline = data.get(name)
+            kwargs[name] = (
+                None if timeline is None else [(t, v) for t, v in timeline]
+            )
+        traces = data.get("request_traces")
+        kwargs["request_traces"] = (
+            None
+            if traces is None
+            else [RequestTrace.from_dict(trace) for trace in traces]
+        )
+        return cls(**kwargs)
+
     @property
     def total_time_s(self) -> float:
         return self.total_time_ms / 1000.0
@@ -236,6 +290,21 @@ class AggregateMetrics:
     @property
     def cpu_stall_s(self) -> Aggregate:
         return Aggregate.of([m.cpu_stall_ms / 1000.0 for m in self.trials])
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (see :meth:`from_dict`)."""
+        return {
+            "config_description": self.config_description,
+            "trials": [trial.to_dict() for trial in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AggregateMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            config_description=data["config_description"],
+            trials=[MergeMetrics.from_dict(trial) for trial in data["trials"]],
+        )
 
     def __repr__(self) -> str:
         return (

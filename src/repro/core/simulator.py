@@ -17,11 +17,42 @@ Example::
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import contextlib
+from typing import Callable, Iterator, Optional
 
 from repro.core.merge_sim import MergeTrial
 from repro.core.metrics import AggregateMetrics, MergeMetrics
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
+
+#: Optional alternative executor for whole configurations.  When set,
+#: :meth:`MergeSimulation.run` delegates to it — this is how the sweep
+#: engine (:mod:`repro.sweep`) transparently adds caching and a worker
+#: pool underneath existing experiment code.  Backends must preserve
+#: the serial contract: trial ``t`` seeded ``base_seed + t``, trials
+#: aggregated in order.
+SimulationBackend = Callable[[SimulationConfig], AggregateMetrics]
+
+_BACKEND: Optional[SimulationBackend] = None
+
+
+def set_simulation_backend(
+    backend: Optional[SimulationBackend],
+) -> Optional[SimulationBackend]:
+    """Install (or clear, with ``None``) the backend; returns the old one."""
+    global _BACKEND
+    previous = _BACKEND
+    _BACKEND = backend
+    return previous
+
+
+@contextlib.contextmanager
+def simulation_backend(backend: Optional[SimulationBackend]):
+    """Scoped :func:`set_simulation_backend`."""
+    previous = set_simulation_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_simulation_backend(previous)
 
 
 class MergeSimulation:
@@ -43,7 +74,14 @@ class MergeSimulation:
         ).run()
 
     def run(self) -> AggregateMetrics:
-        """Run all trials and return aggregated metrics."""
+        """Run all trials and return aggregated metrics.
+
+        Delegates to the installed simulation backend, if any (see
+        :func:`simulation_backend`); the serial in-process loop is the
+        default.
+        """
+        if _BACKEND is not None:
+            return _BACKEND(self.config)
         trials = [self.run_trial(t) for t in range(self.config.trials)]
         return AggregateMetrics(
             config_description=self.config.describe(),

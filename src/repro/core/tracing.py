@@ -37,6 +37,31 @@ class RequestTrace:
     def service_ms(self) -> float:
         return self.finish_ms - self.start_ms
 
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (see :meth:`from_dict`)."""
+        return {
+            "run": self.run,
+            "disk": self.disk,
+            "kind": self.kind.value,
+            "blocks": self.blocks,
+            "issue_ms": self.issue_ms,
+            "start_ms": self.start_ms,
+            "finish_ms": self.finish_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestTrace":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            run=data["run"],
+            disk=data["disk"],
+            kind=FetchKind(data["kind"]),
+            blocks=data["blocks"],
+            issue_ms=data["issue_ms"],
+            start_ms=data["start_ms"],
+            finish_ms=data["finish_ms"],
+        )
+
     @classmethod
     def from_request(cls, request: BlockFetchRequest, disk: int) -> "RequestTrace":
         if request.start_service_time is None or request.finish_time is None:

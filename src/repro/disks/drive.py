@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.disks.geometry import DiskGeometry
@@ -72,6 +72,15 @@ class DriveStats:
     @property
     def service_ms(self) -> float:
         return self.seek_ms + self.rotation_ms + self.transfer_ms
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DriveStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
     @property
     def mean_seek_cylinders(self) -> float:

@@ -74,16 +74,28 @@ class Table:
 
 @dataclass
 class ExperimentResult:
-    """Everything an experiment produced."""
+    """Everything an experiment produced.
+
+    ``error`` is set (and the payload left empty) when the experiment
+    raised instead of completing — the batch runner returns such
+    partial results rather than aborting the whole batch.
+    """
 
     experiment_id: str
     title: str
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def render(self) -> str:
         parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.error is not None:
+            parts.append(f"ERROR: {self.error}")
         for table in self.tables:
             parts.append("")
             parts.append(table.render())

@@ -1,10 +1,19 @@
-"""Batch experiment execution and report writing."""
+"""Batch experiment execution and report writing.
+
+One failing experiment no longer aborts the batch: its error is
+reported (with the experiment id), an :class:`ExperimentResult` carrying
+``error`` joins the returned list, and the remaining experiments still
+run.  Passing a :class:`~repro.sweep.engine.SweepEngine` routes every
+simulation the experiments perform through the engine's result cache
+and worker pool (see :func:`repro.core.simulator.simulation_backend`).
+"""
 
 from __future__ import annotations
 
+import contextlib
 import sys
 import time
-from typing import Iterable, Optional, TextIO
+from typing import TYPE_CHECKING, Iterable, Optional, TextIO
 
 from repro.experiments.config import (
     ExperimentResult,
@@ -13,26 +22,60 @@ from repro.experiments.config import (
     get_experiment,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
+
 
 def run_experiments(
     experiment_ids: Iterable[str],
     scale: Optional[Scale] = None,
     stream: Optional[TextIO] = None,
+    engine: Optional["SweepEngine"] = None,
 ) -> list[ExperimentResult]:
-    """Run experiments in order, streaming each report as it finishes."""
+    """Run experiments in order, streaming each report as it finishes.
+
+    Every requested experiment yields exactly one entry in the returned
+    list.  An experiment that raises produces a result with ``error``
+    set (check :attr:`ExperimentResult.ok`) instead of aborting the
+    remaining ones.  With ``engine``, all simulations fan out through
+    the sweep engine's cache and worker pool.
+    """
     out = stream or sys.stdout
     scale = scale or Scale.full()
     results = []
-    for experiment_id in experiment_ids:
-        experiment = get_experiment(experiment_id)
-        start = time.perf_counter()
-        result = experiment.run(scale)
-        elapsed = time.perf_counter() - start
-        results.append(result)
-        print(result.render(), file=out)
-        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n", file=out)
-        out.flush()
+    backend = engine.backend() if engine is not None else contextlib.nullcontext()
+    with backend:
+        for experiment_id in experiment_ids:
+            start = time.perf_counter()
+            try:
+                experiment = get_experiment(experiment_id)
+                result = experiment.run(scale)
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                result = ExperimentResult(
+                    experiment_id=experiment_id,
+                    title="(failed)",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                results.append(result)
+                print(
+                    f"[{experiment_id} FAILED after {elapsed:.1f}s: "
+                    f"{result.error}]\n",
+                    file=out,
+                )
+                out.flush()
+                continue
+            elapsed = time.perf_counter() - start
+            results.append(result)
+            print(result.render(), file=out)
+            print(f"[{experiment_id} finished in {elapsed:.1f}s]\n", file=out)
+            out.flush()
     return results
+
+
+def failed_experiment_ids(results: Iterable[ExperimentResult]) -> list[str]:
+    """Ids of the results that carry an error."""
+    return [result.experiment_id for result in results if not result.ok]
 
 
 def default_experiment_ids(include_ablations: bool = True) -> list[str]:

@@ -1,0 +1,102 @@
+"""Canonical configuration serialization and content-addressed keys.
+
+A sweep cell is cached under a key derived from every code-relevant
+simulation parameter plus the trial seed: same configuration and seed
+always hash to the same key; changing *any* parameter — even an
+observability flag like ``record_timelines``, which alters what the
+metrics contain — produces a new key.  ``trials`` and ``base_seed`` are
+deliberately excluded because the cache works at *trial* granularity:
+the per-trial seed (``base_seed + trial``) is hashed instead, so a
+10-trial sweep reuses the first five trials of an earlier 5-trial sweep.
+
+``CACHE_SCHEMA_VERSION`` is folded into the hash; bump it whenever the
+simulator's behaviour or the metrics serialization changes in a way
+that invalidates previously cached results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro.core.parameters import (
+    CachePolicy,
+    DiskParameters,
+    PrefetchStrategy,
+    SimulationConfig,
+    VictimSelector,
+)
+from repro.disks.drive import QueueDiscipline
+from repro.disks.geometry import DiskGeometry
+
+#: Bump to invalidate every previously cached result.
+CACHE_SCHEMA_VERSION = 1
+
+#: Enum-valued ``SimulationConfig`` fields and their types, used both to
+#: serialize (enum -> value) and to coerce plain strings from CLI /
+#: JSON sweep specs back into enums.
+ENUM_FIELDS: dict[str, type[enum.Enum]] = {
+    "strategy": PrefetchStrategy,
+    "cache_policy": CachePolicy,
+    "victim_selector": VictimSelector,
+    "queue_discipline": QueueDiscipline,
+}
+
+#: Nested-dataclass fields and their types.
+NESTED_FIELDS: dict[str, type] = {
+    "disk": DiskParameters,
+    "geometry": DiskGeometry,
+}
+
+
+def config_to_dict(config: SimulationConfig) -> dict:
+    """Flatten a config to a JSON-able dict (inverse: :func:`config_from_dict`)."""
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif dataclasses.is_dataclass(value):
+            value = dataclasses.asdict(value)
+        out[field.name] = value
+    return out
+
+
+def coerce_params(params: dict) -> dict:
+    """Coerce plain JSON values (strings, dicts) to config field types.
+
+    Lets sweep specs written in JSON or parsed from the command line say
+    ``{"strategy": "inter-run"}`` instead of importing the enum.
+    Values already of the right type pass through unchanged.
+    """
+    out = dict(params)
+    for name, enum_cls in ENUM_FIELDS.items():
+        if name in out and not isinstance(out[name], enum_cls):
+            out[name] = enum_cls(out[name])
+    for name, data_cls in NESTED_FIELDS.items():
+        if name in out and isinstance(out[name], dict):
+            out[name] = data_cls(**out[name])
+    return out
+
+
+def config_from_dict(data: dict) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict` output."""
+    return SimulationConfig(**coerce_params(data))
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(config: SimulationConfig, seed: int) -> str:
+    """Content address of one simulation trial: sha256 hex digest."""
+    payload = config_to_dict(config)
+    del payload["trials"]
+    del payload["base_seed"]
+    payload["__seed__"] = seed
+    payload["__schema__"] = CACHE_SCHEMA_VERSION
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

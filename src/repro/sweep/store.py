@@ -1,0 +1,178 @@
+"""Persistent, content-addressed result store and campaign checkpoints.
+
+Results live one JSON file per trial under ``<root>/<key[:2]>/<key>.json``
+(keyed by :func:`repro.sweep.keys.cache_key`), written atomically via a
+temp file + ``os.replace`` so a killed sweep never leaves a truncated
+entry.  A re-run of the same sweep finds every finished trial by key and
+skips the simulation — that *is* the resume mechanism; the campaign
+manifest under ``<root>/campaigns/<name>.json`` adds an observable
+checkpoint (spec hash, per-key status, counts) that tooling and humans
+can inspect mid-flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.metrics import MergeMetrics
+from repro.sweep.keys import CACHE_SCHEMA_VERSION
+
+#: Default store location (gitignored).
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Content-addressed cache of simulated trials."""
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[MergeMetrics]:
+        """Cached metrics for ``key``, or ``None`` on any miss.
+
+        Unreadable or schema-mismatched entries count as misses (the
+        sweep recomputes and overwrites them) rather than errors.
+        """
+        try:
+            with open(self.path_for(key)) as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return MergeMetrics.from_dict(payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        metrics: MergeMetrics,
+        *,
+        config: Optional[dict] = None,
+        seed: Optional[int] = None,
+        elapsed_s: Optional[float] = None,
+    ) -> Path:
+        """Persist one trial's metrics; returns the entry path."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "config": config,
+            "seed": seed,
+            "elapsed_s": elapsed_s,
+            "saved_at": time.time(),
+            "metrics": metrics.to_dict(),
+        }
+        path = self.path_for(key)
+        _atomic_write_json(path, payload)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.name == "campaigns" or not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def purge(self) -> int:
+        """Delete every cached trial; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class CampaignManifest:
+    """Checkpoint file for one named sweep campaign.
+
+    Records the spec hash and the status of every job key
+    (``pending`` / ``done`` / ``failed``) so an interrupted campaign is
+    inspectable and a resumed one can verify it matches the original
+    spec.  Written atomically after every state change.
+    """
+
+    def __init__(self, root: Path | str, name: str) -> None:
+        self.path = Path(root) / "campaigns" / f"{name}.json"
+        self.name = name
+        self._state: dict = {}
+
+    def load(self) -> Optional[dict]:
+        try:
+            with open(self.path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def begin(self, spec_dict: dict, spec_key: str, job_keys: list[str]) -> None:
+        """Start (or resume) a campaign.
+
+        Resuming with a *different* spec under the same name raises —
+        that would silently interleave results of two sweeps.
+        """
+        previous = self.load()
+        if previous is not None and previous.get("spec_key") != spec_key:
+            raise ValueError(
+                f"campaign {self.name!r} already exists with a different "
+                f"spec; pick a new name or delete {self.path}"
+            )
+        jobs = dict.fromkeys(job_keys, "pending")
+        if previous is not None:
+            for key, status in previous.get("jobs", {}).items():
+                if key in jobs and status == "done":
+                    jobs[key] = "done"
+        self._state = {
+            "name": self.name,
+            "spec_key": spec_key,
+            "spec": spec_dict,
+            "started_at": (previous or {}).get("started_at", time.time()),
+            "updated_at": time.time(),
+            "jobs": jobs,
+        }
+        self._flush()
+
+    def record(self, key: str, status: str) -> None:
+        self._state.setdefault("jobs", {})[key] = status
+        self._state["updated_at"] = time.time()
+        self._flush()
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for status in self._state.get("jobs", {}).values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def _flush(self) -> None:
+        _atomic_write_json(self.path, self._state)

@@ -1,0 +1,56 @@
+"""The subprocess-side job runner.
+
+``execute_job`` is a module-level function (so it pickles cleanly into a
+``ProcessPoolExecutor``) that rebuilds the configuration from its
+serialized form, runs exactly one seeded trial, and hands the metrics
+back as a JSON-able dict.  The per-job timeout is enforced *inside* the
+worker with ``SIGALRM`` — the pool process stays alive and reusable, and
+the parent sees an ordinary :class:`JobTimeoutError` it can retry or
+record without tearing the pool down.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Optional
+
+from repro.sweep.keys import config_from_dict
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires mid-simulation
+    raise JobTimeoutError("job exceeded its timeout")
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one trial described by ``payload`` and return its result.
+
+    Payload keys: ``config`` (dict from
+    :func:`repro.sweep.keys.config_to_dict`), ``trial`` (int), and
+    optionally ``timeout_s``.  Returns ``{"metrics": ..., "elapsed_s": ...}``.
+    """
+    from repro.core.simulator import MergeSimulation
+
+    config = config_from_dict(payload["config"])
+    trial = payload["trial"]
+    timeout_s: Optional[float] = payload.get("timeout_s")
+
+    start = time.perf_counter()
+    previous_handler = None
+    if timeout_s:
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        metrics = MergeSimulation(config).run_trial(trial)
+    finally:
+        if timeout_s:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    return {
+        "metrics": metrics.to_dict(),
+        "elapsed_s": time.perf_counter() - start,
+    }

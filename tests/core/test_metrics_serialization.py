@@ -1,0 +1,61 @@
+"""JSON round-trips for MergeMetrics / AggregateMetrics / DriveStats."""
+
+import json
+
+from repro.core.metrics import AggregateMetrics, MergeMetrics
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.disks.drive import DriveStats
+
+
+def _simulate(**overrides):
+    config = SimulationConfig(
+        num_runs=3,
+        num_disks=2,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=2,
+        blocks_per_run=20,
+        trials=2,
+        **overrides,
+    )
+    return MergeSimulation(config).run()
+
+
+def test_merge_metrics_round_trip_through_json():
+    metrics = _simulate().trials[0]
+    payload = json.dumps(metrics.to_dict())
+    restored = MergeMetrics.from_dict(json.loads(payload))
+    assert restored == metrics
+    # Derived properties survive as well.
+    assert restored.success_ratio == metrics.success_ratio
+    assert restored.total_seek_ms == metrics.total_seek_ms
+
+
+def test_merge_metrics_round_trip_with_timelines_and_traces():
+    metrics = _simulate(record_timelines=True, record_requests=True).trials[0]
+    assert metrics.concurrency_timeline and metrics.request_traces
+    restored = MergeMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+    assert restored == metrics
+    # Timelines come back as the original tuples, traces as RequestTrace.
+    assert restored.concurrency_timeline[0] == metrics.concurrency_timeline[0]
+    assert restored.request_traces[0].kind is metrics.request_traces[0].kind
+
+
+def test_aggregate_metrics_round_trip_preserves_statistics():
+    aggregate = _simulate()
+    restored = AggregateMetrics.from_dict(
+        json.loads(json.dumps(aggregate.to_dict()))
+    )
+    assert restored.config_description == aggregate.config_description
+    assert len(restored.trials) == len(aggregate.trials)
+    assert restored.total_time_s == aggregate.total_time_s
+    assert restored.success_ratio == aggregate.success_ratio
+    # Byte-identical re-serialization: the contract the sweep cache
+    # relies on for "parallel == serial" comparisons.
+    assert json.dumps(restored.to_dict()) == json.dumps(aggregate.to_dict())
+
+
+def test_drive_stats_round_trip():
+    stats = DriveStats(requests=3, blocks=9, seek_ms=1.5,
+                       samples={"seek": 0.5})
+    assert DriveStats.from_dict(json.loads(json.dumps(stats.to_dict()))) == stats

@@ -26,8 +26,28 @@ def test_readme_quickstart_snippet_runs():
     assert 0 <= result.success_ratio.mean <= 1
 
 
+def test_tutorial_sweep_snippet_runs(tmp_path):
+    """The parallel-sweep walkthrough from docs/TUTORIAL.md section 6
+    (shrunk to smoke-test size)."""
+    from repro.sweep import ResultStore, SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        name="depth-sweep",
+        base={"num_runs": 4, "strategy": "intra-run", "blocks_per_run": 30},
+        grid={"num_disks": [1, 2], "prefetch_depth": [2, 3]},
+        trials=1,
+    )
+    engine = SweepEngine(store=ResultStore(tmp_path), workers=1,
+                         timeout_s=120.0, retries=1)
+    result = engine.run_spec(spec)
+    assert len(result.cells) == 4
+    assert all(cell.total_time_s.mean > 0 for cell in result.cells)
+    rerun = engine.run_spec(spec)
+    assert rerun.stats.cache_hit_ratio == 1.0
+
+
 def test_tutorial_kernel_snippet_runs():
-    """The sim-kernel walkthrough from docs/TUTORIAL.md section 6."""
+    """The sim-kernel walkthrough from docs/TUTORIAL.md section 7."""
     from repro.sim import Simulator, Store
 
     sim = Simulator()

@@ -91,9 +91,68 @@ def test_run_with_overrides_writes_report(tmp_path, capsys):
     assert "Expected seek moves" in text
 
 
-def test_run_unknown_experiment_raises():
-    with pytest.raises(KeyError):
-        main(["run", "fig-9.9z", "--quick"])
+def test_run_unknown_experiment_reports_failure(capsys):
+    code = main(["run", "fig-9.9z", "--quick"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "fig-9.9z FAILED" in out
+    assert "1 experiment(s) failed: fig-9.9z" in out
+
+
+def _sweep_args(cache_dir):
+    return [
+        "sweep", "-k", "3", "-D", "1,2", "--strategy", "intra-run",
+        "-N", "2,3", "--blocks", "30", "--trials", "2", "--workers", "2",
+        "--cache-dir", str(cache_dir), "--name", "cli-test", "--quiet",
+    ]
+
+
+def test_sweep_runs_grid_and_caches(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(_sweep_args(cache_dir)) == 0
+    out = capsys.readouterr().out
+    assert "4 configurations" in out
+    assert "8 total = 8 computed + 0 cached" in out
+    assert (cache_dir / "campaigns" / "cli-test.json").is_file()
+
+    # Second invocation: same results, zero simulation.
+    assert main(_sweep_args(cache_dir)) == 0
+    rerun = capsys.readouterr().out
+    assert "8 total = 0 computed + 8 cached" in rerun
+
+    def table_lines(text):
+        return [line for line in text.splitlines() if line.startswith("k=3")]
+
+    assert table_lines(rerun) == table_lines(out)
+
+
+def test_sweep_exports_results_and_progress(tmp_path, capsys):
+    import json
+
+    export = tmp_path / "sweep.json"
+    progress = tmp_path / "progress.json"
+    code = main([
+        "sweep", "-k", "3", "-D", "1", "--blocks", "20", "--trials", "1",
+        "--no-cache", "--quiet",
+        "--export", str(export), "--progress-json", str(progress),
+    ])
+    assert code == 0
+    payload = json.loads(export.read_text())
+    assert payload["stats"]["computed"] == 1
+    assert len(payload["cells"]) == 1
+    assert payload["cells"][0]["trials"][0]["total_time_ms"] > 0
+    counters = json.loads(progress.read_text())
+    assert counters["total"] == 1
+
+
+def test_run_with_workers_uses_sweep_engine(tmp_path, capsys):
+    code = main([
+        "run", "tab-seek", "--quick", "--trials", "1", "--blocks", "50",
+        "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tab-seek" in out
 
 
 def test_missing_command_errors():

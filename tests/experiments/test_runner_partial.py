@@ -1,0 +1,76 @@
+"""The batch runner survives a failing experiment and reports its id."""
+
+import io
+
+import pytest
+
+from repro.experiments.config import (
+    _REGISTRY,
+    ExperimentResult,
+    Scale,
+    register,
+)
+from repro.experiments.runner import failed_experiment_ids, run_experiments
+
+SCALE = Scale(trials=1, blocks_per_run=20, sweep_density=0.25)
+
+
+@pytest.fixture
+def doomed_experiment():
+    experiment_id = "test-doomed"
+
+    @register(experiment_id, "Always fails", "none", "test fixture")
+    def _runner(scale):
+        raise RuntimeError("injected failure")
+
+    yield experiment_id
+    del _REGISTRY[experiment_id]
+
+
+@pytest.fixture
+def trivial_experiment():
+    experiment_id = "test-trivial"
+
+    @register(experiment_id, "Always succeeds", "none", "test fixture")
+    def _runner(scale):
+        return ExperimentResult(experiment_id=experiment_id,
+                                title="Always succeeds")
+
+    yield experiment_id
+    del _REGISTRY[experiment_id]
+
+
+def test_one_failure_returns_partial_results(doomed_experiment,
+                                             trivial_experiment):
+    stream = io.StringIO()
+    results = run_experiments(
+        [trivial_experiment, doomed_experiment, trivial_experiment],
+        SCALE,
+        stream=stream,
+    )
+    # Every requested experiment yields a result, failures included.
+    assert [r.experiment_id for r in results] == [
+        trivial_experiment, doomed_experiment, trivial_experiment,
+    ]
+    assert [r.ok for r in results] == [True, False, True]
+    assert "injected failure" in results[1].error
+    assert failed_experiment_ids(results) == [doomed_experiment]
+    # The failing id is reported on the stream.
+    out = stream.getvalue()
+    assert f"[{doomed_experiment} FAILED" in out
+    assert "injected failure" in out
+
+
+def test_unknown_experiment_id_is_reported_not_raised(trivial_experiment):
+    stream = io.StringIO()
+    results = run_experiments(["no-such-id", trivial_experiment], SCALE,
+                              stream=stream)
+    assert not results[0].ok
+    assert "no-such-id" in stream.getvalue()
+    assert results[1].ok
+
+
+def test_failed_result_renders_error():
+    result = ExperimentResult(experiment_id="x", title="(failed)",
+                              error="RuntimeError: nope")
+    assert "ERROR: RuntimeError: nope" in result.render()

@@ -1,0 +1,97 @@
+"""Cache-key stability and config serialization round-trips."""
+
+import pytest
+
+from repro.core.parameters import (
+    CachePolicy,
+    DiskParameters,
+    PrefetchStrategy,
+    SimulationConfig,
+    VictimSelector,
+)
+from repro.disks.drive import QueueDiscipline
+from repro.sweep.keys import (
+    cache_key,
+    coerce_params,
+    config_from_dict,
+    config_to_dict,
+)
+
+BASE = dict(num_runs=8, num_disks=2, strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=3, blocks_per_run=50)
+
+
+def test_same_config_and_seed_give_same_key():
+    a = SimulationConfig(**BASE)
+    b = SimulationConfig(**BASE)
+    assert cache_key(a, 7) == cache_key(b, 7)
+
+
+def test_key_ignores_trials_and_base_seed():
+    # The cache works at trial granularity: only the per-trial seed
+    # matters, so a 10-trial sweep reuses a 5-trial sweep's entries.
+    a = SimulationConfig(trials=5, base_seed=1, **BASE)
+    b = SimulationConfig(trials=10, base_seed=999, **BASE)
+    assert cache_key(a, 7) == cache_key(b, 7)
+
+
+def test_seed_changes_key():
+    config = SimulationConfig(**BASE)
+    assert cache_key(config, 7) != cache_key(config, 8)
+
+
+@pytest.mark.parametrize("change", [
+    {"num_runs": 9},
+    {"num_disks": 3},
+    {"strategy": PrefetchStrategy.INTER_RUN},
+    {"prefetch_depth": 4},
+    {"blocks_per_run": 51},
+    {"cache_capacity": 200},
+    {"synchronized": True},
+    {"cpu_ms_per_block": 0.1},
+    {"cache_policy": CachePolicy.GREEDY},
+    {"victim_selector": VictimSelector.ROUND_ROBIN},
+    {"queue_discipline": QueueDiscipline.SSTF},
+    {"stream_across_requests": True},
+    {"adaptive_depth": True},
+    {"write_disks": 1},
+    {"record_timelines": True},
+    {"disk": DiskParameters(transfer_ms_per_block=1.0)},
+])
+def test_any_parameter_change_changes_key(change):
+    base = SimulationConfig(**BASE)
+    changed = SimulationConfig(**{**BASE, **change})
+    assert cache_key(base, 7) != cache_key(changed, 7)
+
+
+def test_config_dict_round_trip():
+    config = SimulationConfig(
+        cache_capacity=300,
+        synchronized=True,
+        cache_policy=CachePolicy.GREEDY,
+        victim_selector=VictimSelector.NEAREST_HEAD,
+        queue_discipline=QueueDiscipline.SSTF,
+        disk=DiskParameters(seek_ms_per_cylinder=0.05),
+        **{**BASE, "strategy": PrefetchStrategy.INTER_RUN},
+    )
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+def test_coerce_params_accepts_strings_and_dicts():
+    params = coerce_params({
+        "strategy": "inter-run",
+        "cache_policy": "greedy",
+        "disk": {"seek_ms_per_cylinder": 0.05,
+                 "avg_rotational_latency_ms": 8.33,
+                 "transfer_ms_per_block": 2.05},
+        "num_runs": 5,
+    })
+    assert params["strategy"] is PrefetchStrategy.INTER_RUN
+    assert params["cache_policy"] is CachePolicy.GREEDY
+    assert isinstance(params["disk"], DiskParameters)
+    assert params["num_runs"] == 5
+
+
+def test_coerce_params_passes_enums_through():
+    params = coerce_params({"strategy": PrefetchStrategy.NONE})
+    assert params["strategy"] is PrefetchStrategy.NONE

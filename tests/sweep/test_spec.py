@@ -1,0 +1,74 @@
+"""SweepSpec expansion: order, seeds, coercion, serialization."""
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy
+from repro.sweep import SweepSpec, cache_key, jobs_for_config
+from repro.core.parameters import SimulationConfig
+
+SPEC = SweepSpec(
+    name="t",
+    base={"num_runs": 4, "strategy": "intra-run", "blocks_per_run": 30},
+    grid={"num_disks": [1, 2], "prefetch_depth": [2, 3]},
+    trials=2,
+    base_seed=11,
+)
+
+
+def test_cells_expand_in_cross_product_order():
+    cells = SPEC.cells()
+    assert [(c.num_disks, c.prefetch_depth) for c in cells] == [
+        (1, 2), (1, 3), (2, 2), (2, 3),
+    ]
+    assert all(c.strategy is PrefetchStrategy.INTRA_RUN for c in cells)
+    assert all(c.trials == 2 and c.base_seed == 11 for c in cells)
+
+
+def test_jobs_enumerate_trials_with_serial_seeds():
+    jobs = SPEC.jobs()
+    assert len(jobs) == 8
+    assert [j.index for j in jobs] == list(range(8))
+    assert [j.trial for j in jobs] == [0, 1] * 4
+    assert [j.cell for j in jobs] == [0, 0, 1, 1, 2, 2, 3, 3]
+    # Seeds match the serial path: base_seed + trial.
+    assert all(j.seed == 11 + j.trial for j in jobs)
+    # Keys are precomputed content addresses.
+    assert all(j.key == cache_key(j.config, j.seed) for j in jobs)
+
+
+def test_jobs_for_config_matches_trial_count():
+    config = SimulationConfig(num_runs=3, num_disks=1, trials=3,
+                              blocks_per_run=20)
+    jobs = jobs_for_config(config)
+    assert [(j.cell, j.trial) for j in jobs] == [(0, 0), (0, 1), (0, 2)]
+
+
+def test_spec_dict_round_trip_preserves_expansion():
+    restored = SweepSpec.from_dict(SPEC.to_dict())
+    assert restored.spec_key() == SPEC.spec_key()
+    assert [j.key for j in restored.jobs()] == [j.key for j in SPEC.jobs()]
+
+
+def test_spec_key_changes_with_grid():
+    other = SweepSpec(
+        name="t", base=SPEC.base,
+        grid={"num_disks": [1, 2], "prefetch_depth": [2, 4]},
+        trials=2, base_seed=11,
+    )
+    assert other.spec_key() != SPEC.spec_key()
+
+
+def test_overlapping_base_and_grid_rejected():
+    with pytest.raises(ValueError, match="both base and grid"):
+        SweepSpec(base={"num_disks": 1}, grid={"num_disks": [1, 2]})
+
+
+def test_empty_grid_axis_rejected():
+    with pytest.raises(ValueError, match="no values"):
+        SweepSpec(base={"num_runs": 2}, grid={"num_disks": []})
+
+
+def test_gridless_spec_is_single_cell():
+    spec = SweepSpec(base={"num_runs": 2, "num_disks": 1}, trials=3)
+    assert len(spec.cells()) == 1
+    assert len(spec.jobs()) == 3

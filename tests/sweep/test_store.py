@@ -1,0 +1,77 @@
+"""ResultStore and CampaignManifest behaviour."""
+
+import json
+
+import pytest
+
+from repro.core.parameters import SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.sweep import CampaignManifest, ResultStore, cache_key
+
+
+@pytest.fixture
+def metrics_and_key():
+    config = SimulationConfig(num_runs=3, num_disks=1, blocks_per_run=20,
+                              trials=1)
+    metrics = MergeSimulation(config).run_trial(0)
+    return metrics, cache_key(config, config.base_seed)
+
+
+def test_put_get_round_trip(tmp_path, metrics_and_key):
+    metrics, key = metrics_and_key
+    store = ResultStore(tmp_path)
+    assert store.get(key) is None
+    assert key not in store
+    store.put(key, metrics, seed=1992, elapsed_s=0.1)
+    assert key in store
+    restored = store.get(key)
+    assert restored is not None
+    assert restored.to_dict() == metrics.to_dict()
+    assert list(store.keys()) == [key]
+    assert len(store) == 1
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path, metrics_and_key):
+    metrics, key = metrics_and_key
+    store = ResultStore(tmp_path)
+    path = store.put(key, metrics)
+    path.write_text("{ truncated")
+    assert store.get(key) is None
+
+
+def test_schema_mismatch_reads_as_miss(tmp_path, metrics_and_key):
+    metrics, key = metrics_and_key
+    store = ResultStore(tmp_path)
+    path = store.put(key, metrics)
+    payload = json.loads(path.read_text())
+    payload["schema"] = -1
+    path.write_text(json.dumps(payload))
+    assert store.get(key) is None
+
+
+def test_purge_removes_everything(tmp_path, metrics_and_key):
+    metrics, key = metrics_and_key
+    store = ResultStore(tmp_path)
+    store.put(key, metrics)
+    assert store.purge() == 1
+    assert len(store) == 0
+
+
+def test_manifest_checkpoints_and_resumes(tmp_path):
+    manifest = CampaignManifest(tmp_path, "camp")
+    manifest.begin({"name": "camp"}, "spec-hash", ["k1", "k2", "k3"])
+    manifest.record("k1", "done")
+    assert manifest.counts() == {"done": 1, "pending": 2}
+
+    # A fresh manifest object (new process) resumes completed keys.
+    resumed = CampaignManifest(tmp_path, "camp")
+    resumed.begin({"name": "camp"}, "spec-hash", ["k1", "k2", "k3"])
+    assert resumed.counts() == {"done": 1, "pending": 2}
+
+
+def test_manifest_rejects_spec_change_under_same_name(tmp_path):
+    manifest = CampaignManifest(tmp_path, "camp")
+    manifest.begin({}, "spec-hash", ["k1"])
+    other = CampaignManifest(tmp_path, "camp")
+    with pytest.raises(ValueError, match="different"):
+        other.begin({}, "other-hash", ["k1"])

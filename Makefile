@@ -2,6 +2,10 @@
 
 PYTHON ?= python3
 
+# Every target works from a clean checkout: put the package on the
+# import path without requiring an install step.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
 .PHONY: install test test-fast sweep-smoke bench check reproduce reproduce-quick clean
 
 install:

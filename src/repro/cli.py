@@ -58,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result cache directory used with --workers "
         "(default results/cache)",
     )
+    run.add_argument(
+        "--faults", metavar="PLAN_JSON", default=None,
+        help="subject every experiment to this fault plan "
+        "(JSON file, see repro.faults); a zero-fault plan reproduces "
+        "the baseline numbers exactly",
+    )
 
     sub.add_parser(
         "paper-check",
@@ -161,6 +167,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trials", type=int, default=5)
     sweep.add_argument("--seed", type=int, default=1992)
     sweep.add_argument("--sync", action="store_true")
+    sweep.add_argument(
+        "--faults", metavar="PLAN_JSON", default=None,
+        help="fault plan JSON applied to every swept configuration",
+    )
+    sweep.add_argument(
+        "--fault-rate", default=None,
+        help="sweep a transient per-attempt failure probability on "
+        "drive 0 (comma list, e.g. 0.0,0.05,0.2); combines with the "
+        "other axes",
+    )
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = inline)")
     sweep.add_argument("--timeout", type=float, default=None,
@@ -201,6 +217,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--selector",
         choices=[s.value for s in VictimSelector],
         default=VictimSelector.RANDOM.value,
+    )
+    simulate.add_argument(
+        "--faults", metavar="PLAN_JSON", default=None,
+        help="fault plan JSON for this configuration (see repro.faults)",
     )
     simulate.add_argument("--trials", type=int, default=5)
     simulate.add_argument("--seed", type=int, default=1992)
@@ -251,7 +271,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             store=ResultStore(args.cache_dir or "results/cache"),
             workers=args.workers,
         )
-    results = run_experiments(ids, scale, engine=engine)
+    if args.faults is not None:
+        from repro.core.simulator import fault_plan_override
+
+        plan = _load_fault_plan(args.faults)
+        if plan is None:
+            return 2
+        print(f"fault plan {args.faults}: {plan.describe_short()}"
+              + (" (empty: baseline behaviour)" if plan.is_empty() else ""))
+        with fault_plan_override(plan):
+            results = run_experiments(ids, scale, engine=engine)
+    else:
+        results = run_experiments(ids, scale, engine=engine)
     if args.out:
         with open(args.out, "w") as handle:
             for result in results:
@@ -473,6 +504,17 @@ def _split_list(text: str, convert) -> list:
     return [convert(part.strip()) for part in text.split(",") if part.strip()]
 
 
+def _load_fault_plan(path):
+    """Load a fault plan, or print ``error: ...`` and return None."""
+    from repro.faults.plan import load_plan
+
+    try:
+        return load_plan(path)
+    except (OSError, TypeError, ValueError) as exc:
+        print(f"error: cannot load fault plan {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.config import Table
     from repro.sweep import (
@@ -504,6 +546,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             grid[name] = values
         elif values:
             base[name] = values[0]
+    if args.faults is not None and args.fault_rate is not None:
+        print("error: --faults and --fault-rate are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.faults is not None:
+        plan = _load_fault_plan(args.faults)
+        if plan is None:
+            return 2
+        base["fault_plan"] = plan.to_dict()
+    elif args.fault_rate is not None:
+        from repro.faults.plan import transient_plan
+
+        rates = _split_list(args.fault_rate, float)
+        plans = [
+            None if rate == 0.0 else transient_plan(rate).to_dict()
+            for rate in rates
+        ]
+        if len(plans) > 1:
+            grid["fault_plan"] = plans
+        else:
+            base["fault_plan"] = plans[0]
     spec = SweepSpec(
         name=args.name,
         base=base,
@@ -568,6 +631,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = _load_fault_plan(args.faults)
+        if fault_plan is None:
+            return 2
     config = SimulationConfig(
         num_runs=args.runs,
         num_disks=args.disks,
@@ -582,6 +650,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_seed=args.seed,
         record_timelines=args.timeline,
+        fault_plan=fault_plan,
     )
     result = MergeSimulation(config).run()
     print(f"configuration : {config.describe()}")
@@ -592,6 +661,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"avg disk conc.: {result.average_concurrency.mean:.2f} "
           f"of {config.num_disks}")
     print(f"cpu stall     : {result.cpu_stall_s.mean:.2f} s")
+    if fault_plan is not None and not fault_plan.is_empty():
+        trials = result.trials
+        n = len(trials)
+        fault_stall_s = sum(m.fault_stall_ms for m in trials) / n / 1000.0
+        faults = sum(sum(s.faults for s in m.drive_stats) for m in trials) / n
+        retries = sum(
+            sum(s.retries for s in m.drive_stats) for m in trials
+        ) / n
+        print(f"fault stall   : {fault_stall_s:.2f} s "
+              f"(faults {faults:.1f}, retries {retries:.1f}, "
+              f"timeouts {sum(m.demand_timeouts for m in trials) / n:.1f}, "
+              f"degraded skips {sum(m.degraded_skips for m in trials) / n:.1f}"
+              " per trial)")
     if args.timeline:
         from repro.core.timeline import utilization_report
 

@@ -31,7 +31,8 @@ from repro.core.writes import WriteSubsystem
 from repro.disks.drive import DiskDrive
 from repro.disks.layout import RunLayout
 from repro.disks.request import BlockFetchRequest, FetchKind
-from repro.sim.events import AllOf
+from repro.faults.injector import FaultInjector
+from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.kernel import Simulator
 from repro.sim.random_streams import RandomStreams
 
@@ -69,6 +70,17 @@ class MergeTrial:
         self.tracker = ConcurrencyTracker(
             self.sim, config.num_disks, record_timeline=config.record_timelines
         )
+        # The injector draws from its own stream, so installing one
+        # with an empty plan perturbs nothing (byte-identical runs).
+        self.injector = (
+            FaultInjector(
+                config.fault_plan,
+                num_disks=config.num_disks,
+                rng=self.streams.stream("faults"),
+            )
+            if config.fault_plan is not None
+            else None
+        )
         self.drives = [
             DiskDrive(
                 self.sim,
@@ -80,6 +92,7 @@ class MergeTrial:
                 stream_across_requests=config.stream_across_requests,
                 address_of=self._address_of,
                 discipline=config.queue_discipline,
+                injector=self.injector,
             )
             for disk in range(config.num_disks)
         ]
@@ -117,6 +130,10 @@ class MergeTrial:
         self._cpu_stall_ms = 0.0
         self._cpu_busy_ms = 0.0
         self._write_stall_ms = 0.0
+        self._fault_stall_ms = 0.0
+        self._healthy_stall_ms = 0.0
+        self._demand_timeouts = 0
+        self._degraded_skips = 0
         self._request_traces: Optional[list] = (
             [] if config.record_requests else None
         )
@@ -126,6 +143,19 @@ class MergeTrial:
     # ------------------------------------------------------------------
     def head_cylinder(self, disk: int) -> int:
         return self.drives[disk].head_cylinder
+
+    def drive_degraded(self, disk: int) -> bool:
+        """Degraded-mode signal the planner uses to skip sick drives.
+
+        Without an injector every drive is permanently healthy, which
+        is exactly the fault-free planner behaviour.
+        """
+        if self.injector is None:
+            return False
+        degraded = self.injector.drive_degraded(disk, self.sim.now)
+        if degraded:
+            self._degraded_skips += 1
+        return degraded
 
     def _address_of(self, request: BlockFetchRequest) -> int:
         return self.layout.block_address(request.run, request.first_block)
@@ -139,7 +169,7 @@ class MergeTrial:
         cpu = self.sim.process(self._merge_loop(), name="merge-cpu")
         self.sim.run()
         if cpu.exception is not None:
-            raise cpu.exception
+            raise self._unwrap(cpu.exception)
         # A crashed drive process leaves the CPU suspended forever and
         # the event queue empty; surface the root cause, not a timeout.
         all_drives = list(self.drives)
@@ -147,7 +177,7 @@ class MergeTrial:
             all_drives.extend(self.writes.drives)
         for drive in all_drives:
             if drive.process.triggered and drive.process.exception is not None:
-                raise drive.process.exception
+                raise self._unwrap(drive.process.exception)
         expected = self.config.total_blocks
         if self._blocks_depleted != expected:
             raise RuntimeError(
@@ -155,6 +185,24 @@ class MergeTrial:
             )
         self.cache.check()
         return self._collect_metrics()
+
+    @staticmethod
+    def _unwrap(exc: BaseException) -> BaseException:
+        """Surface injected-fault root causes instead of process wrappers.
+
+        Fault errors reach the CPU (failed demand events) or the drive
+        process (abandoned prefetches) wrapped in ``ProcessFailure``;
+        callers should be able to catch ``FaultExhaustedError`` etc.
+        directly.
+        """
+        from repro.faults.injector import FaultError
+        from repro.sim.process import ProcessFailure
+
+        if isinstance(exc, ProcessFailure) and isinstance(
+            exc.__cause__, FaultError
+        ):
+            return exc.__cause__
+        return exc
 
     def _preload(self) -> None:
         initial = self.config.initial_blocks_per_run
@@ -192,6 +240,7 @@ class MergeTrial:
             # is resident.
             self._demand_situations += 1
             stall_start = self.sim.now
+            degraded_at_start = self._demand_disk_degraded(run)
             if state.in_flight > 0:
                 self._demand_hits_in_flight += 1
                 yield cache.arrival_event(run, state.next_deplete)
@@ -200,10 +249,25 @@ class MergeTrial:
                 self._record_decision(plan)
                 requests = self._issue(plan)
                 if config.synchronized:
-                    yield AllOf(self.sim, [req.completed for req in requests])
+                    wait_event: Event = AllOf(
+                        self.sim, [req.completed for req in requests]
+                    )
                 else:
-                    yield requests[0].demand_event
-            self._cpu_stall_ms += self.sim.now - stall_start
+                    wait_event = requests[0].demand_event
+                timeout_ms = (
+                    self.injector.demand_timeout_ms
+                    if self.injector is not None
+                    else None
+                )
+                if timeout_ms is None:
+                    yield wait_event
+                else:
+                    yield from self._wait_with_timeout(
+                        wait_event, requests, timeout_ms
+                    )
+            stalled = self.sim.now - stall_start
+            self._cpu_stall_ms += stalled
+            self._attribute_stall(run, stalled, degraded_at_start)
 
         if self.writes is not None:
             drain = self.writes.drain_event()
@@ -232,6 +296,64 @@ class MergeTrial:
 
         return pick_random
 
+    def _wait_with_timeout(
+        self,
+        wait_event: Event,
+        requests: list[BlockFetchRequest],
+        timeout_ms: float,
+    ) -> Generator:
+        """Wait for ``wait_event``, escalating the stalled requests at
+        the drive every ``timeout_ms`` of demand stall.
+
+        Escalation moves still-queued requests to the front of their
+        drive's queue; a request already in service is left alone (the
+        drive's own retry policy governs it).  No duplicate reads are
+        ever issued, so cache arrival accounting stays strictly
+        in-order.
+        """
+        while not wait_event.triggered:
+            winner = yield AnyOf(
+                self.sim, [wait_event, self.sim.timeout(timeout_ms)]
+            )
+            if winner is wait_event:
+                return
+            self._demand_timeouts += 1
+            for request in requests:
+                if not request.completed.triggered:
+                    disk = self.layout.disk_of_run(request.run)
+                    self.drives[disk].escalate(request)
+        yield wait_event
+
+    def _demand_disk_degraded(self, run: int) -> bool:
+        """Is the demand run's drive degraded right now?
+
+        Queries the injector directly (not the planner view) so the
+        check is never counted as a prefetch skip.
+        """
+        if self.injector is None:
+            return False
+        disk = self.layout.disk_of_run(run)
+        return self.injector.drive_degraded(disk, self.sim.now)
+
+    def _attribute_stall(
+        self, run: int, stalled: float, degraded_at_start: bool
+    ) -> None:
+        """Split a demand stall into healthy vs fault-induced time.
+
+        A stall counts as fault-induced when the demand run's drive was
+        degraded at either boundary of the stall (a recovered outage
+        still caused the wait even though the drive is healthy by the
+        time the block arrives).  Computed for every run -- with no
+        injector all stall is healthy, matching fault-free accounting
+        exactly.
+        """
+        if stalled <= 0:
+            return
+        if degraded_at_start or self._demand_disk_degraded(run):
+            self._fault_stall_ms += stalled
+        else:
+            self._healthy_stall_ms += stalled
+
     def _record_decision(self, plan: FetchPlan) -> None:
         if plan.counts_as_decision:
             self._fetch_decisions += 1
@@ -255,9 +377,14 @@ class MergeTrial:
             )
             for offset, event in enumerate(request.block_events):
                 index = first_block + offset
+                # Callbacks run on failure too (retry exhaustion,
+                # permanent outage); only a successful read fills the
+                # cache slot.
                 event.add_callback(
-                    lambda _ev, run=group.run, idx=index: self.cache.block_arrived(
-                        run, idx
+                    lambda ev, run=group.run, idx=index: (
+                        self.cache.block_arrived(run, idx)
+                        if ev.exception is None
+                        else None
                     )
                 )
             disk = self.layout.disk_of_run(group.run)
@@ -265,8 +392,10 @@ class MergeTrial:
                 from repro.core.tracing import RequestTrace
 
                 request.completed.add_callback(
-                    lambda _e, r=request, d=disk: self._request_traces.append(
-                        RequestTrace.from_request(r, d)
+                    lambda ev, r=request, d=disk: (
+                        self._request_traces.append(RequestTrace.from_request(r, d))
+                        if ev.exception is None
+                        else None
                     )
                 )
             self.drives[disk].submit(request)
@@ -301,6 +430,10 @@ class MergeTrial:
             ),
             write_stall_ms=self._write_stall_ms,
             write_stalls=self.writes.stats.stalls if self.writes else 0,
+            fault_stall_ms=self._fault_stall_ms,
+            healthy_stall_ms=self._healthy_stall_ms,
+            demand_timeouts=self._demand_timeouts,
+            degraded_skips=self._degraded_skips,
             concurrency_timeline=self.tracker.timeline,
             cache_timeline=self.cache.timeline,
             request_traces=self._request_traces,

@@ -107,6 +107,13 @@ class MergeMetrics:
     blocks_written: int = 0
     write_stall_ms: float = 0.0
     write_stalls: int = 0
+    # Fault-injection measurements (zero without a fault plan).  Stall
+    # time is attributed by drive health at the moment of the stall:
+    # healthy_stall_ms + fault_stall_ms == cpu_stall_ms always.
+    fault_stall_ms: float = 0.0
+    healthy_stall_ms: float = 0.0
+    demand_timeouts: int = 0
+    degraded_skips: int = 0
     concurrency_timeline: Optional[list[tuple[float, float]]] = None
     cache_timeline: Optional[list[tuple[float, float]]] = None
     request_traces: Optional[list] = None
@@ -119,7 +126,8 @@ class MergeMetrics:
         "cpu_stall_ms", "cpu_busy_ms", "average_concurrency",
         "peak_concurrency", "disk_busy_fraction", "cache_min_free",
         "cache_mean_occupancy", "cache_peak_occupancy", "blocks_written",
-        "write_stall_ms", "write_stalls",
+        "write_stall_ms", "write_stalls", "fault_stall_ms",
+        "healthy_stall_ms", "demand_timeouts", "degraded_skips",
     )
 
     def to_dict(self) -> dict:
@@ -145,10 +153,30 @@ class MergeMetrics:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MergeMetrics":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Tolerant across schema versions: keys this version does not
+        know are ignored, and known-but-absent keys fall back to their
+        field defaults -- so caches written by newer writers (extra
+        counters) and by older writers (missing counters) both load.
+        """
+        import dataclasses
+
         from repro.core.tracing import RequestTrace
 
-        kwargs = {name: data[name] for name in cls._SCALAR_FIELDS}
+        defaults = {
+            f.name: f.default
+            for f in dataclasses.fields(cls)
+            if f.default is not dataclasses.MISSING
+        }
+        kwargs = {
+            name: data[name] if name in data else defaults[name]
+            for name in cls._SCALAR_FIELDS
+            if name in data or name in defaults
+        }
+        for name in cls._SCALAR_FIELDS:
+            if name not in kwargs:  # required field genuinely missing
+                kwargs[name] = data[name]
         kwargs["drive_stats"] = [
             DriveStats.from_dict(stats) for stats in data["drive_stats"]
         ]

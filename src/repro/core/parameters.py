@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.disks.drive import QueueDiscipline
 from repro.disks.geometry import PAPER_GEOMETRY, DiskGeometry
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -155,6 +157,10 @@ class SimulationConfig:
         adaptive_depth: (inter-run extension) size each fetch's depth
             to the free cache -- ``N' = clamp(free // D, 1, N)`` --
             instead of the paper's all-or-nothing ``D*N`` check.
+        fault_plan: declarative per-drive fault schedule plus the
+            resilience policy responding to it (see
+            :mod:`repro.faults`).  ``None`` -- and an *empty* plan --
+            reproduce the paper's perfectly reliable disks exactly.
     """
 
     num_runs: int
@@ -178,6 +184,7 @@ class SimulationConfig:
     record_timelines: bool = False
     record_requests: bool = False
     adaptive_depth: bool = False
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_runs < 1:
@@ -196,6 +203,12 @@ class SimulationConfig:
             raise ValueError("write_disks must be >= 0")
         if self.write_buffer_blocks < 1:
             raise ValueError("write_buffer_blocks must be >= 1")
+        if self.fault_plan is not None:
+            if isinstance(self.fault_plan, dict):
+                object.__setattr__(
+                    self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
+                )
+            self.fault_plan.validate(self.num_disks)
         minimum = self.minimum_cache_capacity
         if self.cache_capacity is not None and self.cache_capacity < minimum:
             raise ValueError(
@@ -243,10 +256,17 @@ class SimulationConfig:
         return self.blocks_per_run / self.geometry.blocks_per_cylinder
 
     def describe(self) -> str:
-        """A one-line human-readable summary."""
+        """A one-line human-readable summary.
+
+        An empty fault plan adds nothing, so its description (and
+        therefore its metrics) match the plan-free baseline exactly.
+        """
         sync = "sync" if self.synchronized else "unsync"
-        return (
+        base = (
             f"k={self.num_runs} D={self.num_disks} {self.strategy.value} "
             f"N={self.effective_depth} C={self.resolved_cache_capacity} {sync} "
             f"cpu={self.cpu_ms_per_block}ms"
         )
+        if self.fault_plan is not None and not self.fault_plan.is_empty():
+            base += f" faults={self.fault_plan.describe_short()}"
+        return base

@@ -18,11 +18,13 @@ Example::
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from typing import Callable, Iterator, Optional
 
 from repro.core.merge_sim import MergeTrial
 from repro.core.metrics import AggregateMetrics, MergeMetrics
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.faults.plan import FaultPlan
 
 #: Optional alternative executor for whole configurations.  When set,
 #: :meth:`MergeSimulation.run` delegates to it — this is how the sweep
@@ -55,10 +57,43 @@ def simulation_backend(backend: Optional[SimulationBackend]):
         set_simulation_backend(previous)
 
 
+#: Ambient fault plan applied to configs that do not carry one of their
+#: own (see :func:`fault_plan_override`).  This is how ``repro run
+#: --faults plan.json`` subjects the *existing* paper experiments to a
+#: fault schedule without changing any experiment definition.
+_FAULT_PLAN: Optional[FaultPlan] = None
+
+
+def set_fault_plan_override(
+    plan: Optional[FaultPlan],
+) -> Optional[FaultPlan]:
+    """Install (or clear, with ``None``) the ambient fault plan."""
+    global _FAULT_PLAN
+    previous = _FAULT_PLAN
+    _FAULT_PLAN = plan
+    return previous
+
+
+@contextlib.contextmanager
+def fault_plan_override(plan: Optional[FaultPlan]):
+    """Scoped :func:`set_fault_plan_override`.
+
+    Configs with an explicit ``fault_plan`` keep it; only plan-free
+    configs pick up the override.
+    """
+    previous = set_fault_plan_override(plan)
+    try:
+        yield plan
+    finally:
+        set_fault_plan_override(previous)
+
+
 class MergeSimulation:
     """Runs ``config.trials`` independent trials and aggregates them."""
 
     def __init__(self, config: SimulationConfig) -> None:
+        if _FAULT_PLAN is not None and config.fault_plan is None:
+            config = dataclasses.replace(config, fault_plan=_FAULT_PLAN)
         self.config = config
 
     def run_trial(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Mapping, Optional, Protocol, Sequence
+from typing import Callable, Mapping, Optional, Protocol, Sequence
 
 from repro.core.cache import BlockCache
 from repro.core.parameters import CachePolicy, VictimSelector
@@ -75,6 +75,20 @@ class SystemView(Protocol):
     cache: BlockCache
 
     def head_cylinder(self, disk: int) -> int: ...
+
+    def drive_degraded(self, disk: int) -> bool:
+        """Degraded-mode signal (fault injection); optional on views.
+
+        Planners query it through :func:`_degradation_of`, which treats
+        views without the method as "every drive healthy" -- the
+        fault-free behaviour.
+        """
+        ...
+
+
+def _degradation_of(view: SystemView) -> Callable[[int], bool]:
+    """The view's degraded-drive predicate, or all-healthy without one."""
+    return getattr(view, "drive_degraded", lambda disk: False)
 
 
 class VictimChooser:
@@ -189,9 +203,11 @@ class InterRunPlanner(FetchPlanner):
             return self._adaptive_plan(view, demand_run)
         required = self.depth * self.num_disks
         if view.cache.can_reserve(required):
-            groups = self._full_plan(view, demand_run, budget=None)
+            groups, skipped = self._full_plan(view, demand_run, budget=None)
             return FetchPlan(
-                groups=groups, full_prefetch=True, counts_as_decision=True
+                groups=groups,
+                full_prefetch=skipped == 0,
+                counts_as_decision=True,
             )
         if self.policy is CachePolicy.CONSERVATIVE:
             return FetchPlan(
@@ -200,7 +216,7 @@ class InterRunPlanner(FetchPlanner):
                 counts_as_decision=True,
             )
         # Greedy: spend all free space, demand group first.
-        groups = self._full_plan(view, demand_run, budget=view.cache.free)
+        groups, _ = self._full_plan(view, demand_run, budget=view.cache.free)
         return FetchPlan(groups=groups, full_prefetch=False, counts_as_decision=True)
 
     def _adaptive_plan(self, view: SystemView, demand_run: int) -> FetchPlan:
@@ -213,11 +229,12 @@ class InterRunPlanner(FetchPlanner):
         """
         depth_now = min(self.depth, max(1, view.cache.free // self.num_disks))
         if view.cache.can_reserve(depth_now * self.num_disks):
-            groups = self._full_plan(view, demand_run, budget=None,
-                                     depth=depth_now)
+            groups, skipped = self._full_plan(
+                view, demand_run, budget=None, depth=depth_now
+            )
             return FetchPlan(
                 groups=groups,
-                full_prefetch=depth_now == self.depth,
+                full_prefetch=depth_now == self.depth and skipped == 0,
                 counts_as_decision=True,
             )
         return FetchPlan(
@@ -232,7 +249,16 @@ class InterRunPlanner(FetchPlanner):
         demand_run: int,
         budget: Optional[int],
         depth: Optional[int] = None,
-    ) -> tuple[FetchGroup, ...]:
+    ) -> tuple[tuple[FetchGroup, ...], int]:
+        """Build the fetch groups; returns ``(groups, degraded_skips)``.
+
+        Degraded drives (fault injection's flapping / fail-slow /
+        in-outage signal) are dropped from prefetch target selection:
+        spending prefetch depth on a drive that cannot deliver soon
+        only ties up cache space the healthy drives could use.  The
+        demand disk is never skipped -- the merge needs that block
+        regardless of drive health.
+        """
         depth = self.depth if depth is None else depth
         remaining = budget if budget is not None else float("inf")
         demand_state = view.cache.runs[demand_run]
@@ -245,9 +271,14 @@ class InterRunPlanner(FetchPlanner):
         other_disks = [d for d in range(self.num_disks) if d != demand_disk]
         if budget is not None:
             self.rng.shuffle(other_disks)
+        is_degraded = _degradation_of(view)
+        skipped = 0
         for disk in other_disks:
             if remaining < 1:
                 break
+            if is_degraded(disk):
+                skipped += 1
+                continue
             candidates = [
                 run
                 for run in view.layout.runs_on_disk(disk)
@@ -261,7 +292,7 @@ class InterRunPlanner(FetchPlanner):
                 break
             groups.append(FetchGroup(victim, count))
             remaining -= count
-        return tuple(groups)
+        return tuple(groups), skipped
 
 
 def build_planner(

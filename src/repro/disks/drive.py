@@ -21,8 +21,9 @@ previous transfer is charged transfer time only.
 from __future__ import annotations
 
 import enum
+import math
 import random
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.disks.geometry import DiskGeometry
@@ -31,6 +32,7 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import DiskParameters
+    from repro.faults.injector import FaultInjector
     from repro.sim.kernel import Simulator
 
 BusyCallback = Callable[[int, bool], None]
@@ -53,7 +55,16 @@ class QueueDiscipline(enum.Enum):
 
 @dataclass
 class DriveStats:
-    """Per-drive service-time accounting (all times in milliseconds)."""
+    """Per-drive service-time accounting (all times in milliseconds).
+
+    The fault counters stay zero unless a
+    :class:`~repro.faults.injector.FaultInjector` is installed:
+    ``faults`` counts failed service attempts, ``retries`` the backoff
+    waits taken, ``retry_histogram`` maps attempts-needed-to-succeed
+    (as a string key, for JSON) to request counts, and ``fault_ms``
+    attributes the time lost to faults -- failed attempts, backoff,
+    slowdown excess over healthy timing, and outage waits.
+    """
 
     requests: int = 0
     blocks: int = 0
@@ -67,6 +78,13 @@ class DriveStats:
     sequential_requests: int = 0
     seek_cylinders: int = 0
     max_queue_length: int = 0
+    faults: int = 0
+    retries: int = 0
+    retry_backoff_ms: float = 0.0
+    fault_ms: float = 0.0
+    outage_wait_ms: float = 0.0
+    requeues: int = 0
+    retry_histogram: dict[str, int] = field(default_factory=dict)
     samples: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -79,8 +97,14 @@ class DriveStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "DriveStats":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**data)
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored and missing keys take their field
+        defaults, so snapshots written by other schema versions (older
+        or newer) always load.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @property
     def mean_seek_cylinders(self) -> float:
@@ -106,6 +130,7 @@ class DiskDrive:
         stream_across_requests: bool = False,
         address_of: Optional[Callable[[BlockFetchRequest], int]] = None,
         discipline: QueueDiscipline = QueueDiscipline.FIFO,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.sim = sim
         self.drive_id = drive_id
@@ -115,6 +140,7 @@ class DiskDrive:
         self.stats = DriveStats()
         self.stream_across_requests = stream_across_requests
         self.discipline = discipline
+        self.injector = injector
         self._address_of = address_of
         self._pending: list[BlockFetchRequest] = []
         self._wakeup: Optional[Event] = None
@@ -146,6 +172,22 @@ class DiskDrive:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request
+
+    def escalate(self, request: BlockFetchRequest) -> bool:
+        """Re-queue a still-pending request at the head of the queue.
+
+        The demand-read-timeout response: a demand request that has
+        waited too long jumps every queued prefetch on the same drive.
+        Returns False (and does nothing) when the request is already in
+        service or finished.
+        """
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            return False
+        self._pending.insert(0, request)
+        self.stats.requeues += 1
+        return True
 
     # ------------------------------------------------------------------
     # Service process
@@ -193,55 +235,163 @@ class DiskDrive:
     def _service(self, request: BlockFetchRequest) -> Generator:
         sim = self.sim
         params = self.parameters
+        injector = self.injector
+        stats = self.stats
         start = sim.now
         request.start_service_time = start
-        self.stats.queue_wait_ms += start - request.issue_time
+        stats.queue_wait_ms += start - request.issue_time
 
         first_address = self._resolve_address(request)
         target_cylinder = self.geometry.cylinder_of(first_address)
+        last_address = first_address + request.count - 1
 
         sequential = (
             self.stream_across_requests
             and self._next_sequential_address is not None
             and first_address == self._next_sequential_address
         )
-        if sequential:
-            seek_ms = 0.0
-            rotation_ms = 0.0
-            self.stats.sequential_requests += 1
-        else:
-            distance = abs(target_cylinder - self._head_cylinder)
-            seek_ms = distance * params.seek_ms_per_cylinder
-            rotation_ms = self.rng.uniform(0.0, params.rotation_period_ms)
-            self.stats.seek_cylinders += distance
 
-        positioning = seek_ms + rotation_ms
-        if positioning > 0:
-            yield sim.timeout(positioning)
+        # Each loop iteration is one service *attempt*.  Without an
+        # injector (or with an empty plan) the first attempt always
+        # succeeds and this reduces exactly to the paper's model.
+        attempt = 0
+        while True:
+            attempt += 1
+            if injector is not None:
+                yield from self._wait_out_outage(request)
 
-        for offset, block_event in enumerate(request.block_events):
-            yield sim.timeout(params.transfer_ms_per_block)
-            block_event.succeed((request.run, request.first_block + offset))
+            if sequential and attempt == 1:
+                seek_ms = 0.0
+                rotation_ms = 0.0
+                stats.sequential_requests += 1
+            else:
+                distance = abs(target_cylinder - self._head_cylinder)
+                seek_ms = distance * params.seek_ms_per_cylinder
+                rotation_ms = self.rng.uniform(0.0, params.rotation_period_ms)
+                stats.seek_cylinders += distance
+
+            factor = (
+                injector.slowdown_factor(self.drive_id, sim.now)
+                if injector is not None
+                else 1.0
+            )
+            seek_cost = seek_ms * factor
+            rotation_cost = rotation_ms * factor
+            positioning = seek_cost + rotation_cost
+            if positioning > 0:
+                yield sim.timeout(positioning)
+            stats.seek_ms += seek_cost
+            stats.rotation_ms += rotation_cost
+
+            transfer_cost = params.transfer_ms_per_block * factor
+            failed = (
+                injector.attempt_fails(self.drive_id, sim.now)
+                if injector is not None
+                else False
+            )
+            if not failed:
+                for offset, block_event in enumerate(request.block_events):
+                    yield sim.timeout(transfer_cost)
+                    block_event.succeed(
+                        (request.run, request.first_block + offset)
+                    )
+                stats.transfer_ms += request.count * transfer_cost
+                stats.fault_ms += (factor - 1.0) * (
+                    seek_ms
+                    + rotation_ms
+                    + request.count * params.transfer_ms_per_block
+                )
+                if attempt > 1:
+                    key = str(attempt)
+                    stats.retry_histogram[key] = (
+                        stats.retry_histogram.get(key, 0) + 1
+                    )
+                break
+
+            # Transient read error: the transfer is attempted in full
+            # and discarded, then the drive backs off and retries (the
+            # head ends past the target, so the retry reseeks from
+            # there and pays a fresh rotational latency).
+            yield sim.timeout(request.count * transfer_cost)
+            stats.transfer_ms += request.count * transfer_cost
+            stats.faults += 1
+            stats.fault_ms += positioning + request.count * transfer_cost
+            self._head_cylinder = self.geometry.cylinder_of(last_address)
+            injector.record_fault(self.drive_id, sim.now)
+            if attempt >= injector.retry.max_attempts:
+                self._abandon_request(request, attempt)
+            delay = injector.retry.delay_ms(attempt, injector.rng)
+            stats.retries += 1
+            stats.retry_backoff_ms += delay
+            stats.fault_ms += delay
+            if delay > 0:
+                yield sim.timeout(delay)
 
         finish = sim.now
         request.finish_time = finish
         request.completed.succeed(request)
 
-        last_address = first_address + request.count - 1
         self._head_cylinder = self.geometry.cylinder_of(last_address)
         self._next_sequential_address = last_address + 1
 
-        stats = self.stats
         stats.requests += 1
         stats.blocks += request.count
         if request.kind is FetchKind.DEMAND:
             stats.demand_requests += 1
         else:
             stats.prefetch_requests += 1
-        stats.seek_ms += seek_ms
-        stats.rotation_ms += rotation_ms
-        stats.transfer_ms += request.count * params.transfer_ms_per_block
         stats.busy_ms += finish - start
+
+    def _wait_out_outage(self, request: BlockFetchRequest) -> Generator:
+        """Sleep through any outage covering the current time."""
+        injector = self.injector
+        until = injector.outage_until(self.drive_id, self.sim.now)
+        while until is not None:
+            if until == math.inf:
+                from repro.faults.injector import DriveOfflineError
+
+                self._fail_request(
+                    request,
+                    DriveOfflineError(
+                        f"drive {self.drive_id} is permanently offline; "
+                        f"{request!r} can never be serviced"
+                    ),
+                )
+            wait = until - self.sim.now
+            self.stats.outage_wait_ms += wait
+            self.stats.fault_ms += wait
+            yield self.sim.timeout(wait)
+            until = injector.outage_until(self.drive_id, self.sim.now)
+
+    def _abandon_request(self, request: BlockFetchRequest, attempts: int) -> None:
+        """Give up on a request that exhausted its retry budget."""
+        from repro.faults.injector import FaultExhaustedError
+
+        histogram = self.stats.retry_histogram
+        histogram["exhausted"] = histogram.get("exhausted", 0) + 1
+        self._fail_request(
+            request,
+            FaultExhaustedError(
+                f"drive {self.drive_id}: {request!r} failed all "
+                f"{attempts} attempt(s) of its retry budget"
+            ),
+        )
+
+    def _fail_request(
+        self, request: BlockFetchRequest, error: Exception
+    ) -> None:
+        """Fail the request's events and crash the service process.
+
+        Waiters (the merge CPU, synchronized ``AllOf``s) see the error
+        thrown into them; :meth:`repro.core.merge_sim.MergeTrial.run`
+        also surfaces it via the drive process when nobody waits.
+        """
+        for event in request.block_events:
+            if not event.triggered:
+                event.fail(error)
+        if not request.completed.triggered:
+            request.completed.fail(error)
+        raise error
 
     def _resolve_address(self, request: BlockFetchRequest) -> int:
         if self._address_of is None:

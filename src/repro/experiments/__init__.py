@@ -28,6 +28,7 @@ from repro.experiments.config import (
 # Importing the modules registers their experiments.
 from repro.experiments import (  # noqa: E402,F401
     ablations,
+    degradation,
     figures,
     markov_experiment,
     tables,

@@ -1,0 +1,59 @@
+"""Fault injection and resilience for the multi-disk merge.
+
+The paper's model assumes ``D`` perfectly reliable, identical disks;
+this subsystem drops that assumption.  A declarative, JSON-serializable
+:class:`FaultPlan` schedules per-drive faults -- transient read errors,
+fail-slow episodes, and full outages with optional recovery -- and a
+seeded :class:`FaultInjector` replays them deterministically inside the
+drive service loop.  The response side (capped-backoff retries, demand
+re-queueing, and a degraded mode that drops flapping drives from
+inter-run prefetch target selection) lives in the same plan, so one
+JSON file describes both the failure scenario and the policy under
+test.
+
+Quickstart::
+
+    from repro import SimulationConfig, MergeSimulation, PrefetchStrategy
+    from repro.faults import fail_slow_plan
+
+    config = SimulationConfig(
+        num_runs=25, num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN, prefetch_depth=10,
+        fault_plan=fail_slow_plan(drive=0, factor=4.0),
+    )
+    result = MergeSimulation(config).run()
+
+or from the command line: ``python -m repro run all --faults plan.json``.
+"""
+
+from repro.faults.injector import (
+    DriveOfflineError,
+    FaultError,
+    FaultExhaustedError,
+    FaultInjector,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    OutageFault,
+    RetryPolicy,
+    SlowdownFault,
+    TransientFault,
+    fail_slow_plan,
+    load_plan,
+    transient_plan,
+)
+
+__all__ = [
+    "DriveOfflineError",
+    "FaultError",
+    "FaultExhaustedError",
+    "FaultInjector",
+    "FaultPlan",
+    "OutageFault",
+    "RetryPolicy",
+    "SlowdownFault",
+    "TransientFault",
+    "fail_slow_plan",
+    "load_plan",
+    "transient_plan",
+]

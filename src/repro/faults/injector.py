@@ -1,0 +1,146 @@
+"""The pluggable fault injector consulted by the drive service loop.
+
+One :class:`FaultInjector` instance is shared by every drive of a
+trial.  It answers four questions, all as pure functions of the plan,
+the virtual time, and its *own* seeded random stream:
+
+* :meth:`slowdown_factor` -- service-time multiplier right now,
+* :meth:`outage_until` -- when (if ever) the current outage ends,
+* :meth:`attempt_fails` -- does this service attempt hit a read error,
+* :meth:`drive_degraded` -- should prefetch planning avoid this drive.
+
+Because the injector draws from its own
+:class:`~repro.sim.random_streams.RandomStreams` stream -- and draws
+*nothing* while no transient window is active -- installing an
+injector with an empty plan leaves every other stream untouched: the
+simulation trajectory is byte-identical to running without one.  That
+property is what makes faulty runs deterministic and sweep-cacheable;
+it is pinned by ``tests/faults/test_fault_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+
+class FaultError(RuntimeError):
+    """Base class for injected-fault failures surfaced by a trial."""
+
+
+class FaultExhaustedError(FaultError):
+    """A request failed every attempt its retry budget allowed."""
+
+
+class DriveOfflineError(FaultError):
+    """A request needs a drive that is in a permanent outage."""
+
+
+class FaultInjector:
+    """Evaluates a :class:`~repro.faults.plan.FaultPlan` at sim time.
+
+    Args:
+        plan: the fault schedule and response policy.
+        num_disks: size of the input array (plan drive ids validated
+            against it).
+        rng: the injector's private random stream; used only for
+            transient-error draws and retry jitter.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, num_disks: int, rng: random.Random
+    ) -> None:
+        plan.validate(num_disks)
+        self.plan = plan
+        self.num_disks = num_disks
+        self.rng = rng
+        self._transients = [
+            [f for f in plan.transients if f.drive == d]
+            for d in range(num_disks)
+        ]
+        self._slowdowns = [
+            [f for f in plan.slowdowns if f.drive == d]
+            for d in range(num_disks)
+        ]
+        self._outages = [
+            [f for f in plan.outages if f.drive == d] for d in range(num_disks)
+        ]
+        # Recent fault timestamps per drive, for flap detection.
+        self._fault_times: list[list[float]] = [[] for _ in range(num_disks)]
+
+    @property
+    def retry(self) -> RetryPolicy:
+        return self.plan.retry
+
+    @property
+    def demand_timeout_ms(self) -> Optional[float]:
+        return self.plan.demand_timeout_ms
+
+    # ------------------------------------------------------------------
+    # Fault evaluation
+    # ------------------------------------------------------------------
+    def slowdown_factor(self, drive: int, now: float) -> float:
+        """Service-time multiplier (overlapping episodes compound)."""
+        factor = 1.0
+        for episode in self._slowdowns[drive]:
+            if episode.active(now):
+                factor *= episode.factor
+        return factor
+
+    def outage_until(self, drive: int, now: float) -> Optional[float]:
+        """End time of the outage covering ``now``, or ``None``.
+
+        Returns ``math.inf`` for a permanent outage.
+        """
+        until: Optional[float] = None
+        for outage in self._outages[drive]:
+            if outage.active(now):
+                end = math.inf if outage.end_ms is None else outage.end_ms
+                until = end if until is None else max(until, end)
+        return until
+
+    def attempt_fails(self, drive: int, now: float) -> bool:
+        """Draw the transient-error outcome for one service attempt.
+
+        Consumes randomness only while a transient window is active on
+        ``drive``, so fault-free periods leave the stream untouched.
+        """
+        for fault in self._transients[drive]:
+            if fault.active(now) and fault.probability > 0.0:
+                if self.rng.random() < fault.probability:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def record_fault(self, drive: int, now: float) -> None:
+        """Note one observed fault (for flap detection)."""
+        times = self._fault_times[drive]
+        times.append(now)
+        cutoff = now - self.plan.flap_window_ms
+        while times and times[0] < cutoff:
+            times.pop(0)
+
+    def flapping(self, drive: int, now: float) -> bool:
+        """True when recent faults crossed the flap threshold."""
+        cutoff = now - self.plan.flap_window_ms
+        recent = [t for t in self._fault_times[drive] if t >= cutoff]
+        return len(recent) >= self.plan.flap_threshold
+
+    def drive_degraded(self, drive: int, now: float) -> bool:
+        """Should inter-run prefetching avoid this drive right now?
+
+        A drive is degraded while it is in an outage, inside a
+        fail-slow episode, or flapping (too many recent transient
+        faults).  It recovers -- and rejoins prefetch target selection
+        -- as soon as none of those hold.
+        """
+        if self.outage_until(drive, now) is not None:
+            return True
+        if self.slowdown_factor(drive, now) > 1.0:
+            return True
+        return self.flapping(drive, now)

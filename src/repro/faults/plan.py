@@ -1,0 +1,335 @@
+"""Declarative, JSON-serializable fault plans.
+
+A :class:`FaultPlan` schedules per-drive faults against the input disk
+array of one simulated merge:
+
+* :class:`TransientFault` -- each service attempt on the drive fails
+  with probability ``probability`` while the window is active; the
+  drive retries under the plan's :class:`RetryPolicy`.
+* :class:`SlowdownFault` -- a fail-slow episode: seek, rotation, and
+  transfer times are multiplied by ``factor`` while active
+  (overlapping episodes compound multiplicatively).
+* :class:`OutageFault` -- the drive services nothing during the
+  window; ``end_ms=None`` means the drive never recovers (the merge
+  then fails with :class:`~repro.faults.injector.DriveOfflineError`
+  once a request needs it).
+
+The plan also carries the *response* knobs: the retry policy (capped
+exponential backoff with jitter and a per-request attempt budget), an
+optional demand-read timeout (a demand request still queued after this
+long is re-queued at the head of its drive), and the flapping
+thresholds that put a drive into degraded mode (dropped from inter-run
+prefetch target selection) until it recovers.
+
+Everything round-trips through :meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict`; ``from_dict`` tolerates unknown keys so
+plans written by newer schema versions still load.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def _window_active(start_ms: float, end_ms: Optional[float], now: float) -> bool:
+    return start_ms <= now and (end_ms is None or now < end_ms)
+
+
+def _check_window(start_ms: float, end_ms: Optional[float]) -> None:
+    if start_ms < 0:
+        raise ValueError("start_ms must be non-negative")
+    if end_ms is not None and end_ms <= start_ms:
+        raise ValueError("end_ms must be greater than start_ms")
+
+
+def _from_known_keys(cls, data: dict):
+    """Build ``cls`` from ``data``, ignoring keys it does not declare."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Per-attempt read errors on one drive during a time window."""
+
+    drive: int
+    probability: float
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.drive < 0:
+            raise ValueError("drive must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        _check_window(self.start_ms, self.end_ms)
+
+    def active(self, now: float) -> bool:
+        return _window_active(self.start_ms, self.end_ms, now)
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """A fail-slow episode: service times multiplied by ``factor``."""
+
+    drive: int
+    factor: float
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.drive < 0:
+            raise ValueError("drive must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        _check_window(self.start_ms, self.end_ms)
+
+    def active(self, now: float) -> bool:
+        return _window_active(self.start_ms, self.end_ms, now)
+
+
+@dataclass(frozen=True)
+class OutageFault:
+    """A full outage; ``end_ms`` is the recovery time (None = never)."""
+
+    drive: int
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.drive < 0:
+            raise ValueError("drive must be non-negative")
+        _check_window(self.start_ms, self.end_ms)
+
+    def active(self, now: float) -> bool:
+        return _window_active(self.start_ms, self.end_ms, now)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter and an attempt budget.
+
+    Attempt ``a`` (1-based) that fails waits
+    ``min(max_delay_ms, base_delay_ms * multiplier**(a-1))`` scaled by
+    a jitter factor drawn uniformly from ``[1 - jitter, 1]`` before the
+    drive retries.  A request that fails ``max_attempts`` times is
+    abandoned: its events fail and the trial surfaces
+    :class:`~repro.faults.injector.FaultExhaustedError`.
+    """
+
+    max_attempts: int = 8
+    base_delay_ms: float = 1.0
+    max_delay_ms: float = 200.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_ms(self, attempt: int, rng: random.Random) -> float:
+        """Backoff after the ``attempt``-th (1-based) failed attempt."""
+        delay = min(
+            self.max_delay_ms,
+            self.base_delay_ms * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter > 0.0:
+            delay *= (1.0 - self.jitter) + self.jitter * rng.random()
+        return delay
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_ms": self.base_delay_ms,
+            "max_delay_ms": self.max_delay_ms,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return _from_known_keys(cls, data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fault-and-response schedule for one simulated merge.
+
+    Attributes:
+        transients: per-attempt read-error windows.
+        slowdowns: fail-slow episodes.
+        outages: full-outage windows.
+        retry: backoff policy for failed attempts.
+        demand_timeout_ms: a demand request still *queued* (not yet in
+            service) after this long is re-queued at the head of its
+            drive's queue; ``None`` disables the timeout.
+        flap_threshold: this many faults inside ``flap_window_ms`` puts
+            the drive into degraded mode until the window drains.
+        flap_window_ms: sliding window for flap detection.
+    """
+
+    transients: tuple[TransientFault, ...] = ()
+    slowdowns: tuple[SlowdownFault, ...] = ()
+    outages: tuple[OutageFault, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    demand_timeout_ms: Optional[float] = None
+    flap_threshold: int = 3
+    flap_window_ms: float = 2000.0
+
+    def __post_init__(self) -> None:
+        # JSON-loaded plans arrive as lists of dicts; normalize so the
+        # plan is hashable and uniformly typed.
+        object.__setattr__(
+            self, "transients", _coerce(self.transients, TransientFault)
+        )
+        object.__setattr__(
+            self, "slowdowns", _coerce(self.slowdowns, SlowdownFault)
+        )
+        object.__setattr__(self, "outages", _coerce(self.outages, OutageFault))
+        if isinstance(self.retry, dict):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        if self.flap_threshold < 1:
+            raise ValueError("flap_threshold must be >= 1")
+        if self.flap_window_ms <= 0:
+            raise ValueError("flap_window_ms must be positive")
+        if self.demand_timeout_ms is not None and self.demand_timeout_ms <= 0:
+            raise ValueError("demand_timeout_ms must be positive")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the plan cannot change simulation behaviour.
+
+        An empty plan (no faults, no demand timeout) run through the
+        injector is byte-identical to running with no injector at all.
+        """
+        return (
+            not self.transients
+            and not self.slowdowns
+            and not self.outages
+            and self.demand_timeout_ms is None
+        )
+
+    @property
+    def max_drive(self) -> int:
+        """Largest drive id any fault names (-1 when none do)."""
+        drives = [
+            f.drive for f in (*self.transients, *self.slowdowns, *self.outages)
+        ]
+        return max(drives) if drives else -1
+
+    def validate(self, num_disks: int) -> None:
+        """Raise if any fault targets a drive outside ``[0, num_disks)``."""
+        if self.max_drive >= num_disks:
+            raise ValueError(
+                f"fault plan targets drive {self.max_drive} but only "
+                f"{num_disks} input disk(s) exist"
+            )
+
+    def describe_short(self) -> str:
+        """Compact tag for config descriptions, e.g. ``T1/S1/O0``."""
+        return (
+            f"T{len(self.transients)}/S{len(self.slowdowns)}"
+            f"/O{len(self.outages)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (inverse: :meth:`from_dict`)."""
+        return {
+            "transients": [
+                {
+                    "drive": f.drive,
+                    "probability": f.probability,
+                    "start_ms": f.start_ms,
+                    "end_ms": f.end_ms,
+                }
+                for f in self.transients
+            ],
+            "slowdowns": [
+                {
+                    "drive": f.drive,
+                    "factor": f.factor,
+                    "start_ms": f.start_ms,
+                    "end_ms": f.end_ms,
+                }
+                for f in self.slowdowns
+            ],
+            "outages": [
+                {"drive": f.drive, "start_ms": f.start_ms, "end_ms": f.end_ms}
+                for f in self.outages
+            ],
+            "retry": self.retry.to_dict(),
+            "demand_timeout_ms": self.demand_timeout_ms,
+            "flap_threshold": self.flap_threshold,
+            "flap_window_ms": self.flap_window_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Build a plan from a JSON dict, ignoring unknown keys."""
+        return _from_known_keys(cls, data)
+
+    def to_json(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_json(cls, path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _coerce(entries: Sequence, cls) -> tuple:
+    return tuple(
+        entry if isinstance(entry, cls) else _from_known_keys(cls, entry)
+        for entry in entries
+    )
+
+
+def load_plan(path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    return FaultPlan.from_json(path)
+
+
+def fail_slow_plan(
+    drive: int = 0,
+    factor: float = 4.0,
+    start_ms: float = 0.0,
+    end_ms: Optional[float] = None,
+    **kwargs,
+) -> FaultPlan:
+    """One fail-slow drive; extra kwargs forward to :class:`FaultPlan`."""
+    return FaultPlan(
+        slowdowns=(
+            SlowdownFault(
+                drive=drive, factor=factor, start_ms=start_ms, end_ms=end_ms
+            ),
+        ),
+        **kwargs,
+    )
+
+
+def transient_plan(
+    probability: float,
+    drives: Sequence[int] = (0,),
+    **kwargs,
+) -> FaultPlan:
+    """Uniform per-attempt read-error probability on ``drives``."""
+    return FaultPlan(
+        transients=tuple(
+            TransientFault(drive=d, probability=probability) for d in drives
+        ),
+        **kwargs,
+    )

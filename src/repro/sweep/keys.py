@@ -31,9 +31,11 @@ from repro.core.parameters import (
 )
 from repro.disks.drive import QueueDiscipline
 from repro.disks.geometry import DiskGeometry
+from repro.faults.plan import FaultPlan
 
 #: Bump to invalidate every previously cached result.
-CACHE_SCHEMA_VERSION = 1
+#: 2: fault-injection counters added to DriveStats / MergeMetrics.
+CACHE_SCHEMA_VERSION = 2
 
 #: Enum-valued ``SimulationConfig`` fields and their types, used both to
 #: serialize (enum -> value) and to coerce plain strings from CLI /
@@ -59,6 +61,8 @@ def config_to_dict(config: SimulationConfig) -> dict:
         value = getattr(config, field.name)
         if isinstance(value, enum.Enum):
             value = value.value
+        elif isinstance(value, FaultPlan):
+            value = value.to_dict()
         elif dataclasses.is_dataclass(value):
             value = dataclasses.asdict(value)
         out[field.name] = value
@@ -79,6 +83,8 @@ def coerce_params(params: dict) -> dict:
     for name, data_cls in NESTED_FIELDS.items():
         if name in out and isinstance(out[name], dict):
             out[name] = data_cls(**out[name])
+    if isinstance(out.get("fault_plan"), dict):
+        out["fault_plan"] = FaultPlan.from_dict(out["fault_plan"])
     return out
 
 
@@ -97,6 +103,10 @@ def cache_key(config: SimulationConfig, seed: int) -> str:
     payload = config_to_dict(config)
     del payload["trials"]
     del payload["base_seed"]
+    # A behaviourally empty fault plan is byte-identical to no plan, so
+    # both address the same cached trial.
+    if config.fault_plan is not None and config.fault_plan.is_empty():
+        payload["fault_plan"] = None
     payload["__seed__"] = seed
     payload["__schema__"] = CACHE_SCHEMA_VERSION
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -7,6 +7,11 @@ back as a JSON-able dict.  The per-job timeout is enforced *inside* the
 worker with ``SIGALRM`` — the pool process stays alive and reusable, and
 the parent sees an ordinary :class:`JobTimeoutError` it can retry or
 record without tearing the pool down.
+
+``SIGALRM`` is POSIX-only.  Where it is missing (Windows, some
+embedded interpreters) jobs run without a wall-clock guard and the
+result records ``timeout_enforced: false`` so callers can tell a
+completed-in-time job from an unguarded one.
 """
 
 from __future__ import annotations
@@ -16,6 +21,9 @@ import time
 from typing import Optional
 
 from repro.sweep.keys import config_from_dict
+
+#: Whether this platform can enforce per-job timeouts at all.
+HAVE_SIGALRM = hasattr(signal, "SIGALRM")
 
 
 class JobTimeoutError(RuntimeError):
@@ -39,18 +47,23 @@ def execute_job(payload: dict) -> dict:
     trial = payload["trial"]
     timeout_s: Optional[float] = payload.get("timeout_s")
 
+    enforce = bool(timeout_s) and HAVE_SIGALRM
     start = time.perf_counter()
     previous_handler = None
-    if timeout_s:
+    if enforce:
         previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        # Re-arm on an interval: a one-shot alarm can be lost when the
+        # delivery lands inside a context that swallows the raise (GC
+        # callbacks, C extensions), which would silently drop the guard.
+        signal.setitimer(signal.ITIMER_REAL, timeout_s, timeout_s)
     try:
         metrics = MergeSimulation(config).run_trial(trial)
     finally:
-        if timeout_s:
+        if enforce:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
     return {
         "metrics": metrics.to_dict(),
         "elapsed_s": time.perf_counter() - start,
+        "timeout_enforced": enforce or not timeout_s,
     }

@@ -1,0 +1,104 @@
+"""Determinism pins for fault injection.
+
+Two invariants make faulty runs sweep-cacheable:
+
+1. **Zero-fault identity** -- a behaviourally empty :class:`FaultPlan`
+   run through the injector is *byte-identical* to running with no
+   injector at all (same metrics dict, same config description, same
+   cache key).
+2. **Seeded reproducibility** -- the same plan and seed produce
+   identical metrics on every execution path: serial in-process,
+   inline sweep engine, and a multi-process worker pool.
+"""
+
+import json
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.faults.plan import FaultPlan, fail_slow_plan, transient_plan
+from repro.sweep import NullProgress, ResultStore, SweepEngine, SweepSpec
+from repro.sweep.keys import cache_key
+
+BASE = dict(
+    num_runs=8,
+    num_disks=4,
+    strategy=PrefetchStrategy.INTER_RUN,
+    prefetch_depth=4,
+    blocks_per_run=40,
+    trials=2,
+)
+
+FAULTY_PLAN = fail_slow_plan(
+    drive=1, factor=3.0, transients=(), demand_timeout_ms=80.0
+)
+
+
+def _metrics_dicts(config: SimulationConfig) -> list[dict]:
+    return [m.to_dict() for m in MergeSimulation(config).run().trials]
+
+
+def test_zero_fault_plan_is_byte_identical_to_no_plan():
+    plain = SimulationConfig(**BASE)
+    empty = SimulationConfig(**BASE, fault_plan=FaultPlan())
+    assert empty.describe() == plain.describe()
+    assert json.dumps(_metrics_dicts(empty), sort_keys=True) == json.dumps(
+        _metrics_dicts(plain), sort_keys=True
+    )
+
+
+def test_zero_fault_plan_shares_cache_keys_with_no_plan():
+    plain = SimulationConfig(**BASE)
+    empty = SimulationConfig(**BASE, fault_plan=FaultPlan())
+    faulty = SimulationConfig(**BASE, fault_plan=FAULTY_PLAN)
+    assert cache_key(empty, seed=1992) == cache_key(plain, seed=1992)
+    assert cache_key(faulty, seed=1992) != cache_key(plain, seed=1992)
+
+
+def test_faulty_runs_reproduce_across_executions():
+    config = SimulationConfig(**BASE, fault_plan=FAULTY_PLAN)
+    first = _metrics_dicts(config)
+    second = _metrics_dicts(config)
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def _sweep_cells(tmp_path, workers: int, subdir: str):
+    spec = SweepSpec(
+        name=f"faults-{subdir}",
+        base={**{k: v for k, v in BASE.items()
+                 if k not in ("trials", "prefetch_depth")},
+              "fault_plan": FAULTY_PLAN.to_dict()},
+        grid={"prefetch_depth": [2, 4]},
+        trials=BASE["trials"],
+        base_seed=1992,
+    )
+    engine = SweepEngine(
+        store=ResultStore(tmp_path / subdir),
+        workers=workers,
+        progress=NullProgress(),
+    )
+    return spec, engine.run_spec(spec)
+
+
+def test_serial_and_pooled_sweeps_byte_identical(tmp_path):
+    spec, serial = _sweep_cells(tmp_path, workers=1, subdir="serial")
+    _, pooled = _sweep_cells(tmp_path, workers=2, subdir="pooled")
+    serial_cells = [cell.to_dict() for cell in serial.cells]
+    pooled_cells = [cell.to_dict() for cell in pooled.cells]
+    assert json.dumps(serial_cells, sort_keys=True) == json.dumps(
+        pooled_cells, sort_keys=True
+    )
+    # And both match the plain serial simulator, cell by cell.
+    for cell_config, cell in zip(spec.cells(), serial.cells):
+        direct = MergeSimulation(cell_config).run()
+        assert [m.to_dict() for m in cell.trials] == [
+            m.to_dict() for m in direct.trials
+        ]
+
+
+def test_transient_faults_reproduce_with_same_seed():
+    config = SimulationConfig(
+        **BASE, fault_plan=transient_plan(0.15, drives=(0, 2))
+    )
+    assert _metrics_dicts(config) == _metrics_dicts(config)

@@ -1,0 +1,120 @@
+"""FaultInjector behaviour: windows, compounding, flap detection."""
+
+import math
+import random
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    OutageFault,
+    SlowdownFault,
+    TransientFault,
+)
+
+
+def _injector(plan: FaultPlan, num_disks: int = 3) -> FaultInjector:
+    return FaultInjector(plan, num_disks=num_disks, rng=random.Random(7))
+
+
+def test_slowdown_factors_compound():
+    plan = FaultPlan(
+        slowdowns=(
+            SlowdownFault(drive=0, factor=2.0, start_ms=0.0, end_ms=100.0),
+            SlowdownFault(drive=0, factor=3.0, start_ms=50.0, end_ms=150.0),
+            SlowdownFault(drive=1, factor=5.0),
+        )
+    )
+    injector = _injector(plan)
+    assert injector.slowdown_factor(0, 10.0) == 2.0
+    assert injector.slowdown_factor(0, 75.0) == 6.0  # overlap compounds
+    assert injector.slowdown_factor(0, 120.0) == 3.0
+    assert injector.slowdown_factor(0, 200.0) == 1.0
+    assert injector.slowdown_factor(1, 10.0) == 5.0
+    assert injector.slowdown_factor(2, 10.0) == 1.0
+
+
+def test_outage_until():
+    plan = FaultPlan(
+        outages=(
+            OutageFault(drive=0, start_ms=10.0, end_ms=30.0),
+            OutageFault(drive=1, start_ms=5.0),
+        )
+    )
+    injector = _injector(plan)
+    assert injector.outage_until(0, 0.0) is None
+    assert injector.outage_until(0, 15.0) == 30.0
+    assert injector.outage_until(0, 30.0) is None
+    assert injector.outage_until(1, 6.0) == math.inf
+    assert injector.outage_until(2, 6.0) is None
+
+
+def test_attempt_fails_draws_rng_only_in_active_windows():
+    plan = FaultPlan(
+        transients=(
+            TransientFault(drive=0, probability=0.5, start_ms=10.0, end_ms=20.0),
+        )
+    )
+
+    draws = []
+
+    class Counting(random.Random):
+        def random(self):
+            value = super().random()
+            draws.append(value)
+            return value
+
+    injector = FaultInjector(plan, num_disks=2, rng=Counting(3))
+    injector.attempt_fails(0, 5.0)  # window inactive: no draw
+    injector.attempt_fails(1, 15.0)  # other drive: no draw
+    assert draws == []
+    injector.attempt_fails(0, 15.0)
+    assert len(draws) == 1
+
+
+def test_attempt_fails_matches_probability():
+    plan = FaultPlan(transients=(TransientFault(drive=0, probability=0.3),))
+    injector = _injector(plan)
+    failures = sum(injector.attempt_fails(0, 1.0) for _ in range(4000))
+    assert 0.25 < failures / 4000 < 0.35
+
+
+def test_flapping_window_slides():
+    plan = FaultPlan(flap_threshold=3, flap_window_ms=100.0)
+    injector = _injector(plan)
+    for t in (0.0, 10.0):
+        injector.record_fault(0, t)
+    assert not injector.flapping(0, 10.0)
+    injector.record_fault(0, 20.0)
+    assert injector.flapping(0, 20.0)
+    assert injector.drive_degraded(0, 20.0)
+    # 110 ms later the window has drained.
+    assert not injector.flapping(0, 130.0)
+    assert not injector.drive_degraded(0, 130.0)
+
+
+def test_degraded_reasons():
+    plan = FaultPlan(
+        slowdowns=(SlowdownFault(drive=0, factor=2.0, end_ms=50.0),),
+        outages=(OutageFault(drive=1, start_ms=10.0, end_ms=20.0),),
+    )
+    injector = _injector(plan)
+    assert injector.drive_degraded(0, 25.0)  # slowdown active
+    assert not injector.drive_degraded(0, 60.0)
+    assert injector.drive_degraded(1, 15.0)  # outage active
+    assert not injector.drive_degraded(1, 25.0)
+    assert not injector.drive_degraded(2, 15.0)
+
+
+def test_plan_validated_against_disk_count():
+    plan = FaultPlan(slowdowns=(SlowdownFault(drive=4, factor=2.0),))
+    with pytest.raises(ValueError):
+        FaultInjector(plan, num_disks=3, rng=random.Random(0))
+
+
+def test_retry_and_timeout_exposed():
+    plan = FaultPlan(demand_timeout_ms=42.0)
+    injector = _injector(plan)
+    assert injector.demand_timeout_ms == 42.0
+    assert injector.retry is plan.retry

@@ -1,0 +1,136 @@
+"""FaultPlan construction, validation, and serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    OutageFault,
+    RetryPolicy,
+    SlowdownFault,
+    TransientFault,
+    fail_slow_plan,
+    load_plan,
+    transient_plan,
+)
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        transients=(TransientFault(drive=0, probability=0.1, end_ms=500.0),),
+        slowdowns=(SlowdownFault(drive=1, factor=3.0, start_ms=100.0),),
+        outages=(OutageFault(drive=2, start_ms=50.0, end_ms=80.0),),
+        retry=RetryPolicy(max_attempts=4, jitter=0.0),
+        demand_timeout_ms=75.0,
+        flap_threshold=2,
+        flap_window_ms=1000.0,
+    )
+
+
+def test_round_trip_through_json():
+    plan = _full_plan()
+    restored = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert restored == plan
+
+
+def test_file_round_trip(tmp_path):
+    plan = _full_plan()
+    path = tmp_path / "plan.json"
+    plan.to_json(path)
+    assert load_plan(path) == plan
+
+
+def test_from_dict_ignores_unknown_keys():
+    data = _full_plan().to_dict()
+    data["future_field"] = {"nested": True}
+    data["retry"]["future_knob"] = 7
+    data["transients"][0]["severity_class"] = "minor"
+    restored = FaultPlan.from_dict(data)
+    assert restored == _full_plan()
+
+
+def test_empty_plan_is_empty():
+    assert FaultPlan().is_empty()
+    assert not fail_slow_plan().is_empty()
+    assert not transient_plan(0.1).is_empty()
+    # A demand timeout alone changes behaviour.
+    assert not FaultPlan(demand_timeout_ms=10.0).is_empty()
+    # Retry/flap knobs alone do not: nothing ever consults them.
+    assert FaultPlan(retry=RetryPolicy(max_attempts=2)).is_empty()
+
+
+def test_validate_rejects_out_of_range_drive():
+    plan = fail_slow_plan(drive=5)
+    plan.validate(num_disks=6)
+    with pytest.raises(ValueError, match="drive 5"):
+        plan.validate(num_disks=5)
+
+
+def test_window_activity():
+    fault = SlowdownFault(drive=0, factor=2.0, start_ms=10.0, end_ms=20.0)
+    assert not fault.active(9.999)
+    assert fault.active(10.0)
+    assert fault.active(19.999)
+    assert not fault.active(20.0)
+    open_ended = OutageFault(drive=0, start_ms=5.0)
+    assert open_ended.active(1e12)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(transients=({"drive": 0, "probability": 1.5},)),
+        dict(slowdowns=({"drive": 0, "factor": 0.5},)),
+        dict(outages=({"drive": -1},)),
+        dict(transients=({"drive": 0, "probability": 0.1,
+                          "start_ms": 10.0, "end_ms": 5.0},)),
+        dict(flap_threshold=0),
+        dict(flap_window_ms=0.0),
+        dict(demand_timeout_ms=-1.0),
+    ],
+)
+def test_invalid_plans_rejected(bad):
+    with pytest.raises(ValueError):
+        FaultPlan(**bad)
+
+
+def test_retry_policy_backoff_caps_and_jitters():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay_ms=10.0, max_delay_ms=35.0,
+        multiplier=2.0, jitter=0.0,
+    )
+    rng = random.Random(1)
+    assert policy.delay_ms(1, rng) == 10.0
+    assert policy.delay_ms(2, rng) == 20.0
+    assert policy.delay_ms(3, rng) == 35.0  # capped
+    jittered = RetryPolicy(base_delay_ms=10.0, jitter=0.5, multiplier=1.0)
+    delays = {jittered.delay_ms(1, rng) for _ in range(50)}
+    assert len(delays) > 1
+    assert all(5.0 <= d <= 10.0 for d in delays)
+
+
+def test_jitter_zero_draws_no_randomness():
+    policy = RetryPolicy(jitter=0.0)
+
+    class Boom(random.Random):
+        def random(self):  # pragma: no cover - failure branch
+            raise AssertionError("rng consulted with jitter disabled")
+
+    assert policy.delay_ms(1, Boom()) == policy.base_delay_ms
+
+
+def test_dict_entries_coerced_and_hashable():
+    plan = FaultPlan(
+        transients=[{"drive": 0, "probability": 0.2}],
+        retry={"max_attempts": 3},
+    )
+    assert plan.transients == (TransientFault(drive=0, probability=0.2),)
+    assert plan.retry.max_attempts == 3
+    hash(plan)  # fully frozen/hashable after coercion
+
+
+def test_describe_short():
+    assert FaultPlan().describe_short() == "T0/S0/O0"
+    assert _full_plan().describe_short() == "T1/S1/O1"

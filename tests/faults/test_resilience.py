@@ -1,0 +1,138 @@
+"""End-to-end resilience behaviour: retries, outages, timeouts, degraded mode."""
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import (
+    MergeSimulation,
+    fault_plan_override,
+    set_fault_plan_override,
+)
+from repro.faults.injector import DriveOfflineError, FaultExhaustedError
+from repro.faults.plan import (
+    FaultPlan,
+    OutageFault,
+    RetryPolicy,
+    fail_slow_plan,
+    transient_plan,
+)
+
+
+def _config(**overrides) -> SimulationConfig:
+    base = dict(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=4,
+        blocks_per_run=40,
+        trials=2,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def test_transient_faults_are_retried_and_counted():
+    result = MergeSimulation(
+        _config(fault_plan=transient_plan(0.2, drives=(0,)))
+    ).run()
+    metrics = result.trials[0]
+    faulty = metrics.drive_stats[0]
+    assert faulty.faults > 0
+    assert faulty.retries == faulty.faults  # every fault retried (no exhaustion)
+    assert faulty.retry_backoff_ms > 0
+    assert faulty.fault_ms > 0
+    # The histogram counts successful requests by attempts needed (>1).
+    assert sum(faulty.retry_histogram.values()) > 0
+    assert all(int(k) > 1 for k in faulty.retry_histogram)
+    # Healthy drives stay untouched.
+    for stats in metrics.drive_stats[1:]:
+        assert stats.faults == 0 and stats.retries == 0
+    # Same merge work still completes.
+    assert metrics.blocks_depleted == 8 * 40
+
+
+def test_retry_exhaustion_raises():
+    plan = transient_plan(1.0, drives=(0,), retry=RetryPolicy(max_attempts=3))
+    with pytest.raises(FaultExhaustedError, match="3 attempt"):
+        MergeSimulation(_config(fault_plan=plan, trials=1)).run()
+
+
+def test_permanent_outage_raises_drive_offline():
+    plan = FaultPlan(outages=(OutageFault(drive=0, start_ms=0.0),))
+    with pytest.raises(DriveOfflineError):
+        MergeSimulation(_config(fault_plan=plan, trials=1)).run()
+
+
+def test_recovered_outage_completes_with_wait_accounted():
+    plan = FaultPlan(outages=(OutageFault(drive=0, start_ms=10.0, end_ms=400.0),))
+    metrics = MergeSimulation(_config(fault_plan=plan, trials=1)).run().trials[0]
+    assert metrics.blocks_depleted == 8 * 40
+    assert metrics.drive_stats[0].outage_wait_ms > 0
+    assert metrics.fault_stall_ms > 0
+
+
+def test_fail_slow_strictly_slower_for_both_strategies():
+    for strategy in (PrefetchStrategy.INTRA_RUN, PrefetchStrategy.INTER_RUN):
+        healthy = MergeSimulation(_config(strategy=strategy)).run()
+        slowed = MergeSimulation(
+            _config(strategy=strategy, fault_plan=fail_slow_plan(drive=0, factor=4.0))
+        ).run()
+        assert slowed.total_time_s.mean > healthy.total_time_s.mean
+
+
+def test_stall_attribution_partitions_cpu_stall():
+    metrics = MergeSimulation(
+        _config(fault_plan=fail_slow_plan(drive=1, factor=5.0), trials=1)
+    ).run().trials[0]
+    assert metrics.fault_stall_ms > 0
+    assert metrics.healthy_stall_ms + metrics.fault_stall_ms == pytest.approx(
+        metrics.cpu_stall_ms
+    )
+
+
+def test_healthy_run_attributes_all_stall_as_healthy():
+    metrics = MergeSimulation(_config(trials=1)).run().trials[0]
+    assert metrics.fault_stall_ms == 0.0
+    assert metrics.healthy_stall_ms == pytest.approx(metrics.cpu_stall_ms)
+
+
+def test_demand_timeout_escalates_queued_requests():
+    plan = fail_slow_plan(drive=0, factor=10.0, demand_timeout_ms=20.0)
+    metrics = MergeSimulation(_config(fault_plan=plan, trials=1)).run().trials[0]
+    assert metrics.demand_timeouts > 0
+    assert sum(s.requeues for s in metrics.drive_stats) > 0
+    assert metrics.blocks_depleted == 8 * 40
+
+
+def test_degraded_drive_skipped_by_inter_run_planner():
+    plan = fail_slow_plan(drive=1, factor=4.0)
+    metrics = MergeSimulation(_config(fault_plan=plan, trials=1)).run().trials[0]
+    assert metrics.degraded_skips > 0
+    # The sick drive still serves demand reads for its own runs.
+    assert metrics.drive_stats[1].requests > 0
+
+
+def test_fault_plan_override_context():
+    config = _config(trials=1)
+    baseline = MergeSimulation(config).run()
+    with fault_plan_override(fail_slow_plan(drive=0, factor=6.0)):
+        slowed = MergeSimulation(config).run()
+        # Explicit plans win over the ambient override.
+        pinned = MergeSimulation(
+            _config(trials=1, fault_plan=FaultPlan())
+        ).run()
+    after = MergeSimulation(config).run()
+    assert slowed.total_time_s.mean > baseline.total_time_s.mean
+    assert pinned.to_dict() == baseline.to_dict()
+    assert after.to_dict() == baseline.to_dict()
+    assert set_fault_plan_override(None) is None  # context restored
+
+
+def test_intra_run_unaffected_by_degraded_mode_bookkeeping():
+    # Intra-run planning never consults other drives, so a slowdown on
+    # a non-demand drive degrades time but records no skips.
+    plan = fail_slow_plan(drive=0, factor=3.0)
+    metrics = MergeSimulation(
+        _config(strategy=PrefetchStrategy.INTRA_RUN, fault_plan=plan, trials=1)
+    ).run().trials[0]
+    assert metrics.degraded_skips == 0

@@ -1,0 +1,41 @@
+"""Platform guard: job execution where SIGALRM is unavailable."""
+
+from repro.sweep import worker as worker_module
+from repro.sweep.keys import config_to_dict
+from repro.core.parameters import SimulationConfig
+
+
+def _payload(timeout_s=None) -> dict:
+    config = SimulationConfig(num_runs=3, num_disks=2, blocks_per_run=20, trials=1)
+    payload = {"config": config_to_dict(config), "trial": 0}
+    if timeout_s is not None:
+        payload["timeout_s"] = timeout_s
+    return payload
+
+
+def test_timeout_enforced_on_posix():
+    assert worker_module.HAVE_SIGALRM  # the CI/dev platforms are POSIX
+    result = worker_module.execute_job(_payload(timeout_s=60.0))
+    assert result["timeout_enforced"] is True
+    assert result["metrics"]["blocks_depleted"] == 60
+
+
+def test_without_sigalrm_job_runs_unguarded(monkeypatch):
+    monkeypatch.setattr(worker_module, "HAVE_SIGALRM", False)
+
+    def explode(*args, **kwargs):  # pragma: no cover - failure branch
+        raise AssertionError("signal API used despite missing SIGALRM")
+
+    monkeypatch.setattr(worker_module.signal, "signal", explode)
+    monkeypatch.setattr(worker_module.signal, "setitimer", explode)
+    result = worker_module.execute_job(_payload(timeout_s=0.001))
+    # The job completes (no timeout enforced) and says so.
+    assert result["timeout_enforced"] is False
+    assert result["metrics"]["blocks_depleted"] == 60
+
+
+def test_no_timeout_requested_reports_enforced(monkeypatch):
+    # Nothing to enforce: the flag must not read as "unguarded".
+    monkeypatch.setattr(worker_module, "HAVE_SIGALRM", False)
+    result = worker_module.execute_job(_payload())
+    assert result["timeout_enforced"] is True

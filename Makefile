@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast sweep-smoke bench check reproduce reproduce-quick clean
+.PHONY: install test test-fast sweep-smoke bench bench-smoke bench-pytest check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,7 +22,20 @@ test-fast:
 sweep-smoke:
 	$(PYTHON) scripts/sweep_smoke.py
 
+# Canonical benchmarks: every scenario on every kernel, reports written
+# as BENCH_<scenario>.json at the repo root (diff with
+# `python -m repro bench compare`).
 bench:
+	$(PYTHON) -m repro bench run
+
+# One tiny scenario against the committed baseline (what CI runs).
+bench-smoke:
+	$(PYTHON) -m repro bench run --scenario smoke-d2 --out-dir results/bench
+	$(PYTHON) -m repro bench compare BENCH_smoke-d2.json \
+		results/bench/BENCH_smoke-d2.json --threshold 2.0
+
+# The pytest-benchmark suite (paper-artifact regeneration timings).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 check:

@@ -9,6 +9,7 @@ paper-scale output use the CLI: ``python -m repro run all``.
 
 import pytest
 
+from repro.bench.harness import timed_call
 from repro.experiments.config import Scale
 
 #: Scale used by every experiment benchmark.
@@ -25,5 +26,18 @@ def run_once(benchmark, fn):
 
     These are multi-second simulation sweeps; statistical repetition
     belongs to the simulations' internal trials, not the timer.
+
+    Timing goes through :func:`repro.bench.harness.timed_call` — the
+    same measurement path as ``repro bench run`` — so pytest-benchmark
+    numbers and BENCH_*.json reports are directly comparable; the
+    harness sample is recorded in ``extra_info`` alongside
+    pytest-benchmark's own statistics.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    outcome: dict = {}
+
+    def timed():
+        outcome["result"], outcome["elapsed_ns"] = timed_call(fn)
+
+    benchmark.pedantic(timed, rounds=1, iterations=1)
+    benchmark.extra_info["harness_elapsed_ns"] = outcome["elapsed_ns"]
+    return outcome["result"]

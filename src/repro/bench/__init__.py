@@ -1,0 +1,58 @@
+"""repro.bench: performance benchmarking with canonical reports.
+
+Declarative scenarios (:mod:`repro.bench.scenarios`) run through one
+shared measurement harness (:mod:`repro.bench.harness`) and serialize
+to ``BENCH_<scenario>.json`` files that the comparator
+(:mod:`repro.bench.compare`) diffs across commits.  CLI:
+``repro bench run | compare | list``; see docs/BENCHMARKS.md.
+"""
+
+from repro.bench.compare import (
+    ComparisonRow,
+    compare_reports,
+    regressions,
+    render_comparison,
+)
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    Measurement,
+    VariantResult,
+    bench_filename,
+    measure,
+    peak_rss_kb,
+    percentile,
+    provenance,
+    run_scenario,
+    timed_call,
+    validate_report,
+)
+from repro.bench.scenarios import (
+    SCENARIOS,
+    BenchScenario,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
+    "BenchScenario",
+    "ComparisonRow",
+    "Measurement",
+    "SCENARIOS",
+    "VariantResult",
+    "bench_filename",
+    "compare_reports",
+    "get_scenario",
+    "measure",
+    "peak_rss_kb",
+    "percentile",
+    "provenance",
+    "regressions",
+    "render_comparison",
+    "run_scenario",
+    "scenario_names",
+    "timed_call",
+    "validate_report",
+]

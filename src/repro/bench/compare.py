@@ -1,0 +1,90 @@
+"""Regression detection between two BENCH_*.json reports.
+
+``compare_reports`` diffs a *current* report against a *baseline* of the
+same scenario, per kernel variant, on the median: a variant regresses
+when ``current_median / baseline_median > 1 + threshold``.  Faster is
+never a failure.  CI runs this against the committed baselines with a
+deliberately generous threshold, so only order-of-magnitude regressions
+(algorithmic accidents, not runner noise) fail the build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.harness import BenchReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One kernel variant's baseline-vs-current verdict."""
+
+    scenario: str
+    kernel: str
+    baseline_median_ns: float
+    current_median_ns: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_median_ns / self.baseline_median_ns
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.threshold
+
+    def render(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"[{verdict:9s}] {self.scenario}/{self.kernel}: "
+            f"{self.baseline_median_ns / 1e6:.2f} ms -> "
+            f"{self.current_median_ns / 1e6:.2f} ms "
+            f"({self.ratio:.2f}x, limit {1.0 + self.threshold:.2f}x)"
+        )
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    threshold: float = 0.25,
+) -> list[ComparisonRow]:
+    """Per-variant comparison rows; raises on mismatched reports.
+
+    Both reports must describe the same scenario, and every baseline
+    variant must be present in the current report (a dropped kernel is
+    a comparison error, not a silent pass).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if baseline.scenario != current.scenario:
+        raise ValueError(
+            f"scenario mismatch: baseline {baseline.scenario!r} vs "
+            f"current {current.scenario!r}"
+        )
+    rows = []
+    for kernel in sorted(baseline.variants):
+        if kernel not in current.variants:
+            raise ValueError(
+                f"current report is missing variant {kernel!r} present "
+                "in the baseline"
+            )
+        rows.append(
+            ComparisonRow(
+                scenario=baseline.scenario,
+                kernel=kernel,
+                baseline_median_ns=baseline.variants[kernel].median_ns,
+                current_median_ns=current.variants[kernel].median_ns,
+                threshold=threshold,
+            )
+        )
+    return rows
+
+
+def regressions(rows: list[ComparisonRow]) -> list[ComparisonRow]:
+    """The subset of rows that exceeded the threshold."""
+    return [row for row in rows if row.regressed]
+
+
+def render_comparison(rows: list[ComparisonRow]) -> str:
+    """Multi-line human-readable comparison."""
+    return "\n".join(row.render() for row in rows)

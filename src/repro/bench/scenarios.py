@@ -1,0 +1,211 @@
+"""Declarative benchmark scenarios.
+
+A :class:`BenchScenario` names a fixed workload — simulator merge, sweep
+campaign, or analytical solve — with pinned seeds and scale, so the
+numbers in a ``BENCH_<scenario>.json`` mean the same thing on every
+commit.  Simulator scenarios run once per registered kernel
+(``reference`` and ``fast``); pure-analysis scenarios are
+kernel-independent and record a single variant.
+
+``workload_events`` is the scenario's nominal unit count used for the
+events-per-second throughput figure: merged blocks for simulator
+scenarios (``num_runs * blocks_per_run * trials`` per cell), chain
+solves for the Markov scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Tuple
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.faults.plan import transient_plan
+
+#: A zero-argument workload; its return value is discarded.
+Workload = Callable[[], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchScenario:
+    """One named, fully pinned benchmark workload."""
+
+    name: str
+    description: str
+    #: Nominal unit count for throughput (see module docstring).
+    workload_events: int
+    #: ``build(kernel)`` returns the callable to time on that kernel.
+    build: Callable[[str], Workload]
+    #: Kernels to measure; single-element for kernel-independent work.
+    kernels: Tuple[str, ...] = ("reference", "fast")
+    #: Default timed repetitions / untimed warmup calls.
+    repeats: int = 5
+    warmup: int = 1
+
+
+def _merge_build(**config_kwargs) -> Callable[[str], Workload]:
+    """Workload factory for one merge configuration."""
+
+    def build(kernel: str) -> Workload:
+        from repro.core.simulator import MergeSimulation
+
+        config = SimulationConfig(kernel=kernel, **config_kwargs)
+
+        def workload():
+            return MergeSimulation(config).run()
+
+        return workload
+
+    return build
+
+
+def _merge_events(config_kwargs: dict) -> int:
+    return (
+        config_kwargs["num_runs"]
+        * config_kwargs["blocks_per_run"]
+        * config_kwargs.get("trials", 1)
+    )
+
+
+def _merge_scenario(
+    name: str,
+    description: str,
+    repeats: int = 5,
+    warmup: int = 1,
+    **config_kwargs,
+) -> BenchScenario:
+    return BenchScenario(
+        name=name,
+        description=description,
+        workload_events=_merge_events(config_kwargs),
+        build=_merge_build(**config_kwargs),
+        repeats=repeats,
+        warmup=warmup,
+    )
+
+
+def _sweep_build(kernel: str) -> Workload:
+    """A small uncached in-process sweep (engine overhead + simulator)."""
+    from repro.sweep import NullProgress, SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        name="bench-sweep-small",
+        base={
+            "num_runs": 6,
+            "strategy": "intra-run",
+            "blocks_per_run": 60,
+            "kernel": kernel,
+        },
+        grid={"num_disks": [1, 2], "prefetch_depth": [2, 4]},
+        trials=1,
+        base_seed=1992,
+    )
+
+    def workload():
+        engine = SweepEngine(store=None, workers=1, progress=NullProgress())
+        return engine.run_spec(spec)
+
+    return workload
+
+
+def _markov_build(kernel: str) -> Workload:
+    """Stationary-distribution solves of the companion-TR Markov chain."""
+    del kernel  # pure analysis: no simulation kernel involved
+
+    def workload():
+        from repro.analysis.markov import policy_comparison
+
+        return policy_comparison(3, (6, 8, 10, 12))
+
+    return workload
+
+
+_MARKOV_CAPACITIES = 4  # capacities swept by the workload above
+
+SCENARIOS: dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in [
+        _merge_scenario(
+            "merge-d5",
+            "inter-run prefetch, k=10 runs on D=5 disks, N=10, "
+            "400 blocks/run, 2 trials",
+            num_runs=10,
+            num_disks=5,
+            strategy=PrefetchStrategy.INTER_RUN,
+            prefetch_depth=10,
+            blocks_per_run=400,
+            trials=2,
+            base_seed=1992,
+        ),
+        _merge_scenario(
+            "merge-d1",
+            "intra-run prefetch on a single disk, k=8, N=6, "
+            "300 blocks/run, 2 trials",
+            num_runs=8,
+            num_disks=1,
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=6,
+            blocks_per_run=300,
+            trials=2,
+            base_seed=1992,
+        ),
+        _merge_scenario(
+            "merge-faults-d5",
+            "inter-run prefetch under 5% transient faults on drive 0, "
+            "k=10, D=5, N=10, 200 blocks/run, 2 trials",
+            num_runs=10,
+            num_disks=5,
+            strategy=PrefetchStrategy.INTER_RUN,
+            prefetch_depth=10,
+            blocks_per_run=200,
+            trials=2,
+            base_seed=1992,
+            fault_plan=transient_plan(0.05),
+        ),
+        _merge_scenario(
+            "smoke-d2",
+            "tiny CI smoke workload: k=6, D=2, intra-run N=4, "
+            "60 blocks/run, 1 trial",
+            repeats=3,
+            num_runs=6,
+            num_disks=2,
+            strategy=PrefetchStrategy.INTRA_RUN,
+            prefetch_depth=4,
+            blocks_per_run=60,
+            trials=1,
+            base_seed=1992,
+        ),
+        BenchScenario(
+            name="sweep-small",
+            description="uncached 4-cell sweep through the sweep engine "
+            "(k=6, D in {1,2}, N in {2,4}, 60 blocks/run)",
+            workload_events=4 * 6 * 60,
+            build=_sweep_build,
+            repeats=3,
+        ),
+        BenchScenario(
+            name="analysis-markov",
+            description="companion-TR Markov chain: conservative vs greedy "
+            "parallelism, D=3, caches 6..12",
+            workload_events=2 * _MARKOV_CAPACITIES,
+            build=_markov_build,
+            kernels=("reference",),
+            repeats=3,
+        ),
+    ]
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> BenchScenario:
+    """Look up a scenario; raises ValueError listing valid names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench scenario {name!r}: "
+            f"choose one of {', '.join(scenario_names())}"
+        ) from None

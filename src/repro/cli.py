@@ -23,6 +23,7 @@ from repro.core.parameters import (
     VictimSelector,
 )
 from repro.core.simulator import MergeSimulation
+from repro.sim.fast import kernel_names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +64,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="subject every experiment to this fault plan "
         "(JSON file, see repro.faults); a zero-fault plan reproduces "
         "the baseline numbers exactly",
+    )
+    run.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="simulation kernel for every experiment (results are "
+        "bit-identical across kernels; 'fast' only changes wall-clock "
+        "time)",
     )
 
     sub.add_parser(
@@ -177,6 +184,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "drive 0 (comma list, e.g. 0.0,0.05,0.2); combines with the "
         "other axes",
     )
+    sweep.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="simulation kernel for every swept cell (cache keys are "
+        "kernel-independent: cached results are shared across kernels)",
+    )
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = inline)")
     sweep.add_argument("--timeout", type=float, default=None,
@@ -225,10 +237,53 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trials", type=int, default=5)
     simulate.add_argument("--seed", type=int, default=1992)
     simulate.add_argument(
+        "--kernel", choices=kernel_names(), default="reference",
+        help="simulation kernel ('fast' is bit-identical, just quicker)",
+    )
+    simulate.add_argument(
         "--timeline",
         action="store_true",
         help="print disk/cache utilization sparklines (first trial)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="performance benchmarks: fixed scenarios, canonical "
+        "BENCH_<scenario>.json reports, regression comparison",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="benchmark scenarios and write BENCH_<scenario>.json"
+    )
+    bench_run.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; default: all registered)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per variant (default: per scenario)",
+    )
+    bench_run.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup calls per variant (default: per scenario)",
+    )
+    bench_run.add_argument(
+        "--out-dir", default=".",
+        help="directory for the BENCH_<scenario>.json files (default: "
+        "current directory)",
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two bench reports; non-zero exit on median regression",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="current BENCH_*.json")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fail when current/baseline median exceeds 1+threshold "
+        "(default 0.25 = 25%% slower)",
+    )
+    bench_sub.add_parser("list", help="list registered bench scenarios")
     return parser
 
 
@@ -280,9 +335,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"fault plan {args.faults}: {plan.describe_short()}"
               + (" (empty: baseline behaviour)" if plan.is_empty() else ""))
         with fault_plan_override(plan):
-            results = run_experiments(ids, scale, engine=engine)
+            results = run_experiments(
+                ids, scale, engine=engine, kernel=args.kernel
+            )
     else:
-        results = run_experiments(ids, scale, engine=engine)
+        results = run_experiments(ids, scale, engine=engine, kernel=args.kernel)
     if args.out:
         with open(args.out, "w") as handle:
             for result in results:
@@ -540,6 +597,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "blocks_per_run": args.blocks,
         "synchronized": args.sync,
     }
+    if args.kernel is not None:
+        base["kernel"] = args.kernel
     grid: dict = {}
     for name, values in axes:
         if len(values) > 1:
@@ -651,6 +710,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         record_timelines=args.timeline,
         fault_plan=fault_plan,
+        kernel=args.kernel,
     )
     result = MergeSimulation(config).run()
     print(f"configuration : {config.describe()}")
@@ -688,6 +748,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        BenchReport,
+        bench_filename,
+        compare_reports,
+        get_scenario,
+        regressions,
+        render_comparison,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.bench_command == "list":
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            kernels = ", ".join(scenario.kernels)
+            print(f"{name:18s} [{kernels}] {scenario.description}")
+        return 0
+    if args.bench_command == "run":
+        names = args.scenario or scenario_names()
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            scenarios = [get_scenario(name) for name in names]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for scenario in scenarios:
+            report = run_scenario(
+                scenario, repeats=args.repeats, warmup=args.warmup
+            )
+            path = report.write(out_dir / bench_filename(scenario.name))
+            print(report.render())
+            print(f"  report written to {path}\n")
+        return 0
+    if args.bench_command == "compare":
+        try:
+            baseline = BenchReport.load(args.baseline)
+            current = BenchReport.load(args.current)
+            rows = compare_reports(baseline, current, threshold=args.threshold)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_comparison(rows))
+        regressed = regressions(rows)
+        if regressed:
+            print(f"\n{len(regressed)} variant(s) regressed beyond "
+                  f"{args.threshold:.0%}")
+            return 1
+        print("\nno regressions")
+        return 0
+    raise AssertionError(f"unhandled bench command {args.bench_command}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -716,6 +832,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -33,7 +33,7 @@ from repro.disks.layout import RunLayout
 from repro.disks.request import BlockFetchRequest, FetchKind
 from repro.faults.injector import FaultInjector
 from repro.sim.events import AllOf, AnyOf, Event
-from repro.sim.kernel import Simulator
+from repro.sim.fast import create_kernel
 from repro.sim.random_streams import RandomStreams
 
 #: A depletion source yields the run to deplete next, given the list of
@@ -52,7 +52,7 @@ class MergeTrial:
     ) -> None:
         self.config = config
         self.seed = seed
-        self.sim = Simulator()
+        self.sim = create_kernel(config.kernel)
         self.streams = RandomStreams(seed)
         self.layout = RunLayout(
             num_runs=config.num_runs,

@@ -20,6 +20,7 @@ from typing import Optional
 from repro.disks.drive import QueueDiscipline
 from repro.disks.geometry import PAPER_GEOMETRY, DiskGeometry
 from repro.faults.plan import FaultPlan
+from repro.sim.fast import KERNELS
 
 
 @dataclass(frozen=True)
@@ -161,6 +162,12 @@ class SimulationConfig:
             resilience policy responding to it (see
             :mod:`repro.faults`).  ``None`` -- and an *empty* plan --
             reproduce the paper's perfectly reliable disks exactly.
+        kernel: which discrete-event kernel runs the trial --
+            ``"reference"`` (the readable baseline) or ``"fast"`` (the
+            optimized drop-in, see :mod:`repro.sim.fast`).  The two
+            produce bit-identical metrics, so the choice affects wall
+            time only; it is deliberately excluded from cache keys and
+            from :meth:`describe`.
     """
 
     num_runs: int
@@ -185,8 +192,14 @@ class SimulationConfig:
     record_requests: bool = False
     adaptive_depth: bool = False
     fault_plan: Optional[FaultPlan] = None
+    kernel: str = "reference"
 
     def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown simulation kernel {self.kernel!r}: "
+                f"choose one of {', '.join(sorted(KERNELS))}"
+            )
         if self.num_runs < 1:
             raise ValueError("num_runs must be >= 1")
         if self.num_disks < 1:

@@ -88,12 +88,46 @@ def fault_plan_override(plan: Optional[FaultPlan]):
         set_fault_plan_override(previous)
 
 
+#: Ambient simulation-kernel override (see :func:`kernel_override`).
+#: This is how ``repro run --kernel fast`` and the benchmark harness
+#: switch the *existing* paper experiments onto the optimized kernel
+#: without changing any experiment definition.  Safe by construction:
+#: both kernels produce bit-identical metrics.
+_KERNEL: Optional[str] = None
+
+
+def set_kernel_override(kernel: Optional[str]) -> Optional[str]:
+    """Install (or clear, with ``None``) the ambient kernel name."""
+    global _KERNEL
+    previous = _KERNEL
+    _KERNEL = kernel
+    return previous
+
+
+@contextlib.contextmanager
+def kernel_override(kernel: Optional[str]):
+    """Scoped :func:`set_kernel_override`.
+
+    Every config constructed into a :class:`MergeSimulation` inside the
+    scope runs on the named kernel, regardless of its own ``kernel``
+    field (the override is for operators choosing *how* to execute, not
+    *what* to simulate — and the kernels are result-equivalent).
+    """
+    previous = set_kernel_override(kernel)
+    try:
+        yield kernel
+    finally:
+        set_kernel_override(previous)
+
+
 class MergeSimulation:
     """Runs ``config.trials`` independent trials and aggregates them."""
 
     def __init__(self, config: SimulationConfig) -> None:
         if _FAULT_PLAN is not None and config.fault_plan is None:
             config = dataclasses.replace(config, fault_plan=_FAULT_PLAN)
+        if _KERNEL is not None and config.kernel != _KERNEL:
+            config = dataclasses.replace(config, kernel=_KERNEL)
         self.config = config
 
     def run_trial(

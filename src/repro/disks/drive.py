@@ -196,7 +196,7 @@ class DiskDrive:
         while True:
             while not self._pending:
                 self._set_busy(False)
-                self._wakeup = Event(self.sim)
+                self._wakeup = self.sim.event()
                 yield self._wakeup
                 self._wakeup = None
             self._set_busy(True)

@@ -31,6 +31,7 @@ def run_experiments(
     scale: Optional[Scale] = None,
     stream: Optional[TextIO] = None,
     engine: Optional["SweepEngine"] = None,
+    kernel: Optional[str] = None,
 ) -> list[ExperimentResult]:
     """Run experiments in order, streaming each report as it finishes.
 
@@ -38,13 +39,21 @@ def run_experiments(
     list.  An experiment that raises produces a result with ``error``
     set (check :attr:`ExperimentResult.ok`) instead of aborting the
     remaining ones.  With ``engine``, all simulations fan out through
-    the sweep engine's cache and worker pool.
+    the sweep engine's cache and worker pool.  With ``kernel``, every
+    simulation runs on the named kernel (see
+    :func:`repro.core.simulator.kernel_override`) — results are
+    identical either way; only wall-clock time changes.
     """
+    from repro.core.simulator import kernel_override
+
     out = stream or sys.stdout
     scale = scale or Scale.full()
     results = []
     backend = engine.backend() if engine is not None else contextlib.nullcontext()
-    with backend:
+    override = (
+        kernel_override(kernel) if kernel is not None else contextlib.nullcontext()
+    )
+    with backend, override:
         for experiment_id in experiment_ids:
             start = time.perf_counter()
             try:

@@ -19,6 +19,12 @@ Public surface:
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.fast import (
+    KERNELS,
+    FastSimulator,
+    create_kernel,
+    kernel_names,
+)
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import Process, ProcessFailure
 from repro.sim.random_streams import RandomStreams
@@ -28,6 +34,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "FastSimulator",
+    "KERNELS",
     "Process",
     "ProcessFailure",
     "RandomStreams",
@@ -36,4 +44,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "create_kernel",
+    "kernel_names",
 ]

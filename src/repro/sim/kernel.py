@@ -40,6 +40,8 @@ class Simulator:
         assert sim.now == 5.0 and proc.value == "done"
     """
 
+    __slots__ = ("_now", "_queue", "_sequence", "_active_processes")
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, "Event"]] = []

@@ -1,0 +1,142 @@
+"""Cross-validation: the fast kernel is bit-identical to the reference.
+
+This is the contract that makes ``kernel="fast"`` safe everywhere —
+experiments, sweeps (shared cache entries!), fault studies: for any
+configuration and seed, both kernels produce byte-for-byte equal
+``MergeMetrics.to_dict()`` output.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation, kernel_override
+from repro.disks.drive import QueueDiscipline
+from repro.faults.plan import fail_slow_plan, transient_plan
+from repro.sim import FastSimulator, Simulator, create_kernel, kernel_names
+
+
+def _trial_dict(config: SimulationConfig, kernel: str, trial: int = 0) -> dict:
+    config = dataclasses.replace(config, kernel=kernel)
+    return MergeSimulation(config).run_trial(trial).to_dict()
+
+
+#: A deliberately diverse configuration matrix: every strategy family,
+#: single and multi disk, sync and async, SSTF scheduling, CPU cost,
+#: and both fault flavours.
+MATRIX = [
+    SimulationConfig(num_runs=6, num_disks=1, blocks_per_run=40),
+    SimulationConfig(
+        num_runs=8,
+        num_disks=1,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=6,
+        blocks_per_run=50,
+    ),
+    SimulationConfig(
+        num_runs=10,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        blocks_per_run=60,
+    ),
+    SimulationConfig(
+        num_runs=10,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        blocks_per_run=60,
+        synchronized=True,
+    ),
+    SimulationConfig(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4,
+        blocks_per_run=40,
+        cpu_ms_per_block=0.5,
+        queue_discipline=QueueDiscipline.SSTF,
+    ),
+    SimulationConfig(
+        num_runs=10,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        blocks_per_run=50,
+        fault_plan=transient_plan(0.1),
+    ),
+    SimulationConfig(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=5,
+        blocks_per_run=40,
+        fault_plan=fail_slow_plan(1, 3.0),
+    ),
+]
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=lambda c: c.describe())
+@pytest.mark.parametrize("seed", [1, 1992])
+def test_fast_kernel_bit_identical(config, seed):
+    config = dataclasses.replace(config, base_seed=seed)
+    reference = _trial_dict(config, "reference")
+    fast = _trial_dict(config, "fast")
+    assert fast == reference
+
+
+def test_fast_kernel_identical_across_trials():
+    config = SimulationConfig(
+        num_runs=8,
+        num_disks=3,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=6,
+        blocks_per_run=40,
+        trials=3,
+    )
+    for trial in range(config.trials):
+        assert _trial_dict(config, "fast", trial) == _trial_dict(
+            config, "reference", trial
+        )
+
+
+def test_unknown_kernel_rejected_by_config():
+    with pytest.raises(ValueError, match="unknown simulation kernel"):
+        SimulationConfig(num_runs=4, num_disks=1, kernel="turbo")
+
+
+def test_unknown_kernel_rejected_by_factory():
+    with pytest.raises(ValueError, match="choose one of fast, reference"):
+        create_kernel("turbo")
+
+
+def test_kernel_registry():
+    assert kernel_names() == ["fast", "reference"]
+    assert isinstance(create_kernel("fast"), FastSimulator)
+    assert type(create_kernel("reference")) is Simulator
+
+
+def test_kernel_override_rewrites_config():
+    config = SimulationConfig(num_runs=4, num_disks=1, blocks_per_run=20)
+    assert MergeSimulation(config).config.kernel == "reference"
+    with kernel_override("fast"):
+        assert MergeSimulation(config).config.kernel == "fast"
+    assert MergeSimulation(config).config.kernel == "reference"
+
+
+def test_kernel_override_preserves_results():
+    config = SimulationConfig(
+        num_runs=6,
+        num_disks=2,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4,
+        blocks_per_run=30,
+        trials=2,
+    )
+    baseline = MergeSimulation(config).run()
+    with kernel_override("fast"):
+        overridden = MergeSimulation(config).run()
+    assert [t.to_dict() for t in overridden.trials] == [
+        t.to_dict() for t in baseline.trials
+    ]

@@ -47,7 +47,7 @@ def test_tutorial_sweep_snippet_runs(tmp_path):
 
 
 def test_tutorial_kernel_snippet_runs():
-    """The sim-kernel walkthrough from docs/TUTORIAL.md section 8."""
+    """The sim-kernel walkthrough from docs/TUTORIAL.md section 9."""
     from repro.sim import Simulator, Store
 
     sim = Simulator()

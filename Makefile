@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast sweep-smoke bench bench-smoke bench-pytest check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sweep-smoke bench bench-smoke bench-pytest check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 	$(PYTHON) scripts/sweep_smoke.py
+	$(PYTHON) -m repro lint src --stats
+
+# Static invariant enforcement (rules RPR001-RPR008, docs/LINT.md);
+# exits non-zero on any finding not in lint-baseline.json.
+lint:
+	$(PYTHON) -m repro lint src --stats
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
@@ -39,6 +45,7 @@ bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 check:
+	$(PYTHON) -m repro lint src --stats
 	$(PYTHON) -m repro paper-check
 	$(PYTHON) -m repro selfcheck
 

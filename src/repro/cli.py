@@ -284,6 +284,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 0.25 = 25%% slower)",
     )
     bench_sub.add_parser("list", help="list registered bench scenarios")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis enforcing the repo's determinism, hot-path, "
+        "and serialization invariants (rules RPR001-RPR008; see "
+        "docs/LINT.md)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -834,6 +844,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

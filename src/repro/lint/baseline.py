@@ -1,0 +1,144 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that are *known and
+deliberately kept*, each with a one-line ``reason``.  Lint exits zero
+when every current finding matches a baseline entry; a new violation —
+or an edit that changes a grandfathered site enough to alter its
+message — fails the run.  Entries that no longer match anything are
+reported as stale so the baseline shrinks as debt is paid down.
+
+Matching is by :attr:`~repro.lint.findings.Finding.fingerprint`
+(``rule``, ``path``, ``message``): line numbers are excluded so
+unrelated edits above a grandfathered site do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Reason recorded by ``--write-baseline`` for entries nobody justified
+#: yet; reviews should demand it be replaced with a real explanation.
+TODO_REASON = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is allowed to stay."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = TODO_REASON
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaselineEntry":
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            message=data["message"],
+            reason=data.get("reason", TODO_REASON),
+        )
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file plus matching helpers."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        version = data.get("version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_SCHEMA_VERSION})"
+            )
+        return cls(entries=[
+            BaselineEntry.from_dict(entry) for entry in data.get("entries", [])
+        ])
+
+    def write(self, path: Path) -> Path:
+        payload = {
+            "version": BASELINE_SCHEMA_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.message)
+                )
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition findings against the baseline.
+
+        Returns ``(new, grandfathered, stale_entries)``: findings with
+        no matching entry, findings absorbed by the baseline, and
+        entries that matched nothing this run.
+        """
+        known = {entry.fingerprint: entry for entry in self.entries}
+        matched: set[tuple[str, str, str]] = set()
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in known:
+                matched.add(finding.fingerprint)
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries if entry.fingerprint not in matched
+        ]
+        return new, grandfathered, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """A baseline covering ``findings``, keeping prior reasons."""
+        reasons: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            reasons = {e.fingerprint: e.reason for e in previous.entries}
+        seen: set[tuple[str, str, str]] = set()
+        entries: list[BaselineEntry] = []
+        for finding in findings:
+            if finding.fingerprint in seen:
+                continue
+            seen.add(finding.fingerprint)
+            entries.append(BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                message=finding.message,
+                reason=reasons.get(finding.fingerprint, TODO_REASON),
+            ))
+        return cls(entries=entries)

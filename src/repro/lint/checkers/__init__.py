@@ -1,0 +1,28 @@
+"""Checker modules; importing this package registers every rule.
+
+Shipped rule ids (see ``docs/LINT.md`` for rationale and examples):
+
+========  ==============================================================
+RPR001    determinism: no wall clock / OS entropy / global RNG in
+          simulation modules — randomness flows through named
+          ``repro.sim.random_streams`` streams only
+RPR002    hot-path classes must declare ``__slots__``
+RPR003    every ``SimulationConfig`` field must be inventoried in
+          ``repro/sweep/keys.py`` (key-relevant or explicitly excluded)
+RPR004    serialization symmetry: ``to_dict`` without a matching
+          ``from_dict`` (referencing every serialized key) is a
+          round-trip hazard
+RPR005    iterating a set in event-ordering code is replay-hazardous
+RPR006    bare / swallowed / unjustified-broad exception handlers
+RPR007    mutable default arguments
+RPR008    ``print()`` without an explicit stream outside the CLI
+========  ==============================================================
+"""
+
+from repro.lint.checkers import (  # noqa: F401  (register rules on import)
+    determinism,
+    hygiene,
+    schema,
+    serialization,
+    slots,
+)

@@ -1,0 +1,260 @@
+"""RPR005–RPR008: ordering, exception, default-argument, stdout hygiene.
+
+Four smaller rules guarding the same north star — deterministic replay
+and observable failure — at the Python-idiom level:
+
+* **RPR005** set iteration in event-ordering modules: ``set`` order is
+  salted per process, so ``for x in {...}`` replays differently across
+  runs and workers.  ``sorted(...)`` over a set is fine.
+* **RPR006** exception discipline: bare ``except:`` anywhere, handlers
+  whose body is only ``pass``/``...`` (swallowed failures), and broad
+  ``except Exception/BaseException`` inside the configured worker/retry
+  modules, where a catch-all is a deliberate design decision that
+  belongs in the baseline with a written reason.
+* **RPR007** mutable default arguments: the classic shared-state bug;
+  in simulation code it also aliases state *across trials*, breaking
+  trial independence.
+* **RPR008** ``print()`` without an explicit ``file=`` outside the CLI:
+  library code writing to ambient stdout corrupts reports and JSON
+  exports; reporters must write to an injected stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import (
+    ModuleInfo,
+    get_rule,
+    make_finding,
+    path_matches,
+    register,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.config import LintConfig
+
+
+# -- RPR005: set-iteration ordering hazards ---------------------------------
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register(
+    "RPR005",
+    name="set-iteration-order",
+    severity=Severity.ERROR,
+    rationale=(
+        "Set iteration order is hash-salted per process; iterating a set "
+        "in event-ordering code makes replays and parallel sweep workers "
+        "diverge."
+    ),
+)
+def check_set_iteration(
+    module: ModuleInfo, config: "LintConfig"
+) -> Iterator[Finding]:
+    if not path_matches(module.package_path, config.ordering_modules):
+        return
+    rule = get_rule("RPR005")
+    for node in ast.walk(module.tree):
+        iterators: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterators.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterators.extend(
+                generator.iter for generator in node.generators
+            )
+        for iterator in iterators:
+            if _is_set_expression(iterator):
+                yield make_finding(
+                    rule, module.relpath, iterator,
+                    "iteration over a set has no deterministic order in "
+                    "event-ordering code; sort it (sorted(...)) or use a "
+                    "list/dict",
+                )
+
+
+# -- RPR006: exception discipline -------------------------------------------
+
+def _is_swallowed(handler: ast.ExceptHandler) -> bool:
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Cleanup-and-reraise handlers propagate the failure: not broad."""
+    return any(
+        isinstance(node, ast.Raise)
+        for statement in handler.body
+        for node in ast.walk(statement)
+    )
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for element in nodes:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+@register(
+    "RPR006",
+    name="exception-discipline",
+    severity=Severity.WARNING,
+    rationale=(
+        "Workers and retry loops that swallow or over-catch exceptions "
+        "turn real faults into silently wrong sweep results; every "
+        "catch-all must be a documented decision."
+    ),
+)
+def check_exceptions(
+    module: ModuleInfo, config: "LintConfig"
+) -> Iterator[Finding]:
+    rule = get_rule("RPR006")
+    in_retry_code = path_matches(
+        module.package_path, config.broad_except_modules
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield make_finding(
+                rule, module.relpath, node,
+                "bare except: hides every failure including "
+                "KeyboardInterrupt/SystemExit; catch specific exceptions",
+            )
+            continue
+        if _is_swallowed(node):
+            caught = ", ".join(_caught_names(node)) or "exception"
+            yield make_finding(
+                rule, module.relpath, node,
+                f"except {caught}: with a pass-only body swallows the "
+                "failure; handle it, log it, or let it propagate",
+            )
+            continue
+        if in_retry_code and not _reraises(node):
+            broad = [
+                name for name in _caught_names(node)
+                if name in ("Exception", "BaseException")
+            ]
+            if broad:
+                yield make_finding(
+                    rule, module.relpath, node,
+                    f"broad except {broad[0]} in worker/retry code; narrow "
+                    "it to the failures the retry is designed for, or "
+                    "baseline this site with a justification",
+                )
+
+
+# -- RPR007: mutable default arguments --------------------------------------
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register(
+    "RPR007",
+    name="mutable-default-argument",
+    severity=Severity.ERROR,
+    rationale=(
+        "A mutable default is created once and shared by every call — in "
+        "simulation code it aliases state across trials, breaking trial "
+        "independence and replayability."
+    ),
+)
+def check_mutable_defaults(
+    module: ModuleInfo, config: "LintConfig"
+) -> Iterator[Finding]:
+    del config
+    rule = get_rule("RPR007")
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        arguments = node.args
+        positional = arguments.posonlyargs + arguments.args
+        pairs = list(
+            zip(positional[len(positional) - len(arguments.defaults):],
+                arguments.defaults)
+        )
+        pairs.extend(
+            (argument, default)
+            for argument, default in zip(arguments.kwonlyargs,
+                                         arguments.kw_defaults)
+            if default is not None
+        )
+        for argument, default in pairs:
+            if _is_mutable_default(default):
+                rendered = ast.unparse(default)
+                yield make_finding(
+                    rule, module.relpath, default,
+                    f"mutable default {rendered} for argument "
+                    f"{argument.arg!r} is shared across calls; default to "
+                    "None and create inside (or field(default_factory=...))",
+                )
+
+
+# -- RPR008: stdout discipline ----------------------------------------------
+
+@register(
+    "RPR008",
+    name="print-discipline",
+    severity=Severity.WARNING,
+    rationale=(
+        "Library code printing to ambient stdout corrupts machine-read "
+        "reports and JSON exports; only the CLI owns stdout, everything "
+        "else writes to an injected stream."
+    ),
+)
+def check_print(module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+    if path_matches(module.package_path, config.print_allowed):
+        return
+    rule = get_rule("RPR008")
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (isinstance(node.func, ast.Name) and node.func.id == "print"):
+            continue
+        if any(keyword.arg == "file" for keyword in node.keywords):
+            continue
+        yield make_finding(
+            rule, module.relpath, node,
+            "print() without an explicit file= outside the CLI; return "
+            "strings or write to an injected stream",
+        )

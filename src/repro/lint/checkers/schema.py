@@ -1,0 +1,175 @@
+"""RPR003: every ``SimulationConfig`` field must be inventoried for caching.
+
+The sweep cache addresses results by a hash over the configuration; a
+field that changes simulation behaviour but is missing from the key
+silently serves stale results, and a field hashed when it should be
+excluded (like ``kernel``) splits one logical cell into several cache
+entries.  ``repro/sweep/keys.py`` therefore carries an *explicit*
+inventory — ``KNOWN_CONFIG_FIELDS`` (folded into the key) and
+``KEY_EXCLUDED_FIELDS`` (deliberately not) — and this rule parses both
+modules to prove the inventory and the dataclass agree:
+
+* a config field in neither tuple → new field added without a caching
+  decision;
+* a name in either tuple that is no longer a field → stale inventory;
+* a name in both tuples → contradictory decision.
+
+This is a *project*-scope rule: it reads the two modules named by
+``config-module`` / ``keys-module`` in ``[tool.repro-lint]`` directly,
+so it runs (and fails loudly if they are missing) regardless of which
+paths were linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleInfo, get_rule, make_finding, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.config import LintConfig
+
+RULE_ID = "RPR003"
+
+KNOWN_NAME = "KNOWN_CONFIG_FIELDS"
+EXCLUDED_NAME = "KEY_EXCLUDED_FIELDS"
+
+
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+
+
+def config_class_fields(
+    tree: ast.Module, class_name: str
+) -> dict[str, int] | None:
+    """``{field_name: line}`` of the dataclass body, or None if absent.
+
+    Only annotated assignments count (dataclass fields); private names
+    and ``ClassVar`` annotations are not fields.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: dict[str, int] = {}
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                target = statement.target
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id.startswith("_"):
+                    continue
+                annotation = ast.unparse(statement.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                fields[target.id] = statement.lineno
+            return fields
+    return None
+
+
+def string_tuple(tree: ast.Module, name: str) -> tuple[list[str], int] | None:
+    """The string elements (and line) of ``name = (...)``, or None."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if not isinstance(value, (ast.Tuple, ast.List)):
+                    return ([], node.lineno)
+                names = [
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+                return (names, node.lineno)
+    return None
+
+
+@register(
+    RULE_ID,
+    name="cache-key-schema",
+    severity=Severity.ERROR,
+    rationale=(
+        "A SimulationConfig field absent from the sweep cache-key "
+        "inventory can silently serve stale cached results for "
+        "behaviourally different configurations."
+    ),
+    scope="project",
+)
+def check_cache_key_schema(
+    modules: list[ModuleInfo], config: "LintConfig", root: Path
+) -> Iterator[Finding]:
+    del modules  # reads the two named modules directly from disk
+    rule = get_rule(RULE_ID)
+    config_path = root / config.config_module
+    keys_path = root / config.keys_module
+
+    config_tree = _parse(config_path)
+    if config_tree is None:
+        yield make_finding(rule, config.config_module, 1,
+                           f"cannot parse config module {config.config_module}"
+                           " for the cache-key schema cross-check")
+        return
+    fields = config_class_fields(config_tree, config.config_class)
+    if fields is None:
+        yield make_finding(rule, config.config_module, 1,
+                           f"class {config.config_class} not found in "
+                           f"{config.config_module}")
+        return
+
+    keys_tree = _parse(keys_path)
+    if keys_tree is None:
+        yield make_finding(rule, config.keys_module, 1,
+                           f"cannot parse keys module {config.keys_module} "
+                           "for the cache-key schema cross-check")
+        return
+    known = string_tuple(keys_tree, KNOWN_NAME)
+    excluded = string_tuple(keys_tree, EXCLUDED_NAME)
+    if known is None or excluded is None:
+        missing = KNOWN_NAME if known is None else EXCLUDED_NAME
+        yield make_finding(rule, config.keys_module, 1,
+                           f"{config.keys_module} does not declare {missing}; "
+                           "the cache-key field inventory is unenforceable")
+        return
+    known_names, known_line = known
+    excluded_names, excluded_line = excluded
+
+    for name, line in sorted(fields.items()):
+        if name not in known_names and name not in excluded_names:
+            yield make_finding(
+                rule, config.config_module, line,
+                f"{config.config_class} field {name!r} is not accounted for "
+                f"in sweep cache keys: add it to {KNOWN_NAME} (and bump "
+                f"CACHE_SCHEMA_VERSION) or to {EXCLUDED_NAME} in "
+                f"{config.keys_module}",
+            )
+    for name in known_names:
+        if name not in fields:
+            yield make_finding(
+                rule, config.keys_module, known_line,
+                f"{KNOWN_NAME} lists {name!r}, which is not a "
+                f"{config.config_class} field; remove the stale entry",
+            )
+    for name in excluded_names:
+        if name not in fields:
+            yield make_finding(
+                rule, config.keys_module, excluded_line,
+                f"{EXCLUDED_NAME} lists {name!r}, which is not a "
+                f"{config.config_class} field; remove the stale entry",
+            )
+    for name in sorted(set(known_names) & set(excluded_names)):
+        yield make_finding(
+            rule, config.keys_module, excluded_line,
+            f"{name!r} appears in both {KNOWN_NAME} and {EXCLUDED_NAME}; "
+            "a field is either key-relevant or excluded, not both",
+        )

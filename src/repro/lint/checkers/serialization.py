@@ -1,0 +1,126 @@
+"""RPR004: ``to_dict`` without a faithful ``from_dict`` is a round-trip hazard.
+
+Sweep caching, campaign resumption, bench baselines, and fault-plan
+files all rest on serialize/deserialize symmetry: a type that can write
+itself but not read itself back (or that reads back only some of what
+it wrote) strands cached results the moment someone relies on the
+missing direction.  The rule requires:
+
+* every class defining ``to_dict`` also defines ``from_dict``;
+* an *explicit* ``from_dict`` (one that names keys) references every
+  literal key ``to_dict`` writes — a key written but never read back is
+  either dead weight or, worse, silently dropped state.
+
+Generic inverses — ``cls(**data)``, comprehension-based filters over
+``data.items()`` — are accepted as referencing everything; the per-key
+check applies only when ``from_dict`` spells keys out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleInfo, get_rule, make_finding, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.config import LintConfig
+
+RULE_ID = "RPR004"
+
+
+def _function(class_def: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for statement in class_def.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def literal_keys(function: ast.FunctionDef) -> set[str]:
+    """String keys the function writes: dict-literal keys and
+    ``data["key"] = ...`` subscript stores."""
+    keys: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                keys.add(index.value)
+    return keys
+
+
+def _is_generic(function: ast.FunctionDef) -> bool:
+    """Does the inverse consume its payload wholesale?
+
+    True for ``cls(**kwargs)`` spellings, comprehensions over
+    ``data.items()``-style views, and delegation to a shared helper
+    that receives ``cls`` (e.g. ``_from_known_keys(cls, data)``).
+    """
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            if any(keyword.arg is None for keyword in node.keywords):
+                return True  # cls(**kwargs)-style
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("items", "keys", "values", "update")
+            ):
+                return True
+            if any(
+                isinstance(argument, ast.Name) and argument.id == "cls"
+                for argument in node.args
+            ):
+                return True  # _from_known_keys(cls, data)-style delegation
+    return False
+
+
+def _referenced_strings(function: ast.FunctionDef) -> set[str]:
+    return {
+        node.value
+        for node in ast.walk(function)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+@register(
+    RULE_ID,
+    name="serialization-symmetry",
+    severity=Severity.ERROR,
+    rationale=(
+        "Cached sweep results, campaign manifests, and bench baselines "
+        "must round-trip: a to_dict with no faithful from_dict strands "
+        "persisted state."
+    ),
+)
+def check_serialization(
+    module: ModuleInfo, config: "LintConfig"
+) -> Iterator[Finding]:
+    del config
+    rule = get_rule(RULE_ID)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        to_dict = _function(node, "to_dict")
+        if to_dict is None:
+            continue
+        from_dict = _function(node, "from_dict")
+        if from_dict is None:
+            yield make_finding(
+                rule, module.relpath, node,
+                f"class {node.name} defines to_dict but no from_dict; "
+                "serialized state cannot round-trip",
+            )
+            continue
+        if _is_generic(from_dict):
+            continue
+        written = literal_keys(to_dict)
+        read = _referenced_strings(from_dict)
+        for key in sorted(written - read):
+            yield make_finding(
+                rule, module.relpath, from_dict,
+                f"{node.name}.from_dict never references to_dict key "
+                f"{key!r}; the round-trip silently drops it",
+            )

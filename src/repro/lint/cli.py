@@ -1,0 +1,129 @@
+"""The ``repro lint`` subcommand implementation.
+
+Exit codes: ``0`` no new findings (grandfathered ones may remain),
+``1`` new findings, ``2`` configuration or usage errors.  The parent
+CLI (:mod:`repro.cli`) registers the arguments via
+:func:`add_lint_arguments` and dispatches here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import find_project_root, load_config
+from repro.lint.engine import LintEngine
+from repro.lint.reporters import (
+    RunOutcome,
+    render_json,
+    render_stats,
+    render_text,
+)
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the ``repro lint`` arguments to an argparse subparser."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths, i.e. src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of grandfathered findings (default: "
+        "[tool.repro-lint] baseline, i.e. lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather all current findings into the baseline file "
+        "(keeps existing reasons; new entries get a TODO reason to "
+        "justify in review) and exit 0",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append a summary (findings per rule, files scanned, "
+        "elapsed time)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="project root (default: nearest ancestor of the current "
+        "directory containing pyproject.toml)",
+    )
+
+
+def run_lint(args) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns the exit code."""
+    out = sys.stdout
+    root = (
+        Path(args.root).resolve()
+        if args.root is not None
+        else find_project_root(Path.cwd())
+    )
+    try:
+        config = load_config(root)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(config, root)
+    try:
+        report = engine.run(args.paths or None)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = root / (args.baseline or config.baseline)
+    if args.write_baseline:
+        try:
+            previous = Baseline.load(baseline_path)
+        except ValueError:
+            previous = Baseline()
+        baseline = Baseline.from_findings(report.findings, previous)
+        baseline.write(baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(baseline.entries)} entr(y/ies)); review any "
+            "TODO reasons",
+            file=out,
+        )
+        if args.stats:
+            print(render_stats(report), file=out)
+        return 0
+
+    if args.no_baseline:
+        new, grandfathered, stale = report.findings, [], []
+        shown_baseline = None
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        new, grandfathered, stale = baseline.split(report.findings)
+        shown_baseline = (
+            str(baseline_path.relative_to(root))
+            if baseline_path.is_file()
+            else None
+        )
+
+    outcome = RunOutcome(
+        report=report,
+        new=new,
+        grandfathered=grandfathered,
+        stale_entries=stale,
+        baseline_path=shown_baseline,
+    )
+    if args.format == "json":
+        print(render_json(outcome), file=out)
+    else:
+        print(render_text(outcome, stats=args.stats), file=out)
+    return outcome.exit_code

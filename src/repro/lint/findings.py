@@ -1,0 +1,67 @@
+"""Findings: what a lint rule reports and how findings are identified.
+
+A :class:`Finding` pins one invariant violation to a file and line.  Its
+*fingerprint* — ``(rule, path, message)``, deliberately excluding the
+line number — is the identity used by the committed baseline, so
+grandfathered findings survive unrelated edits that shift line numbers
+but resurface the moment the offending code is touched enough to change
+the message (which names the offending symbol).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a violated invariant is.
+
+    Both severities fail the lint run (this repo treats its invariants
+    as hard); the distinction exists for reporting and for downstream
+    tooling that may choose to gate only on errors.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative POSIX path
+    line: int  #: 1-based line number
+    rule: str  #: stable rule id, e.g. ``"RPR001"``
+    message: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=data["line"],
+            rule=data["rule"],
+            message=data["message"],
+            severity=Severity(data.get("severity", "error")),
+        )
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,92 @@
+"""Rendering: text and JSON views of a lint run.
+
+Both reporters receive the same already-partitioned material — new
+findings, grandfathered findings, stale baseline entries, and scan
+stats — and return a string; writing it anywhere is the caller's job
+(the CLI owns stdout, per RPR008).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.lint.baseline import BaselineEntry
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunOutcome:
+    """Everything one CLI lint run decided, ready for rendering."""
+
+    report: LintReport
+    new: list[Finding]
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    baseline_path: str | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def render_text(outcome: RunOutcome, stats: bool = False) -> str:
+    """Human-readable report: one finding per line plus a verdict."""
+    lines: list[str] = []
+    for finding in outcome.new:
+        lines.append(finding.render())
+    if outcome.grandfathered:
+        lines.append(
+            f"({len(outcome.grandfathered)} grandfathered finding(s) "
+            f"suppressed by baseline {outcome.baseline_path})"
+        )
+    for entry in outcome.stale_entries:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"({entry.message!r} no longer occurs) — remove it"
+        )
+    if stats:
+        lines.append(render_stats(outcome.report))
+    if outcome.new:
+        lines.append(
+            f"{len(outcome.new)} new finding(s); fix them, suppress a "
+            "deliberate counter-example inline (# repro-lint: "
+            "disable=RPRxxx), or baseline with a justification"
+        )
+    else:
+        lines.append("lint: ok")
+    return "\n".join(lines)
+
+
+def render_stats(report: LintReport) -> str:
+    """The ``--stats`` summary block."""
+    by_rule = ", ".join(
+        f"{rule}:{count}" for rule, count in report.counts_by_rule().items()
+    ) or "none"
+    return (
+        f"lint stats: {report.files_scanned} file(s) scanned, "
+        f"{report.rules_run} rule(s), {len(report.findings)} finding(s) "
+        f"[{by_rule}], {report.suppressed} inline-suppressed, "
+        f"{report.elapsed_s:.2f}s elapsed"
+    )
+
+
+def render_json(outcome: RunOutcome) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "exit_code": outcome.exit_code,
+        "baseline": outcome.baseline_path,
+        "new_findings": [finding.to_dict() for finding in outcome.new],
+        "grandfathered": [
+            finding.to_dict() for finding in outcome.grandfathered
+        ],
+        "stale_baseline_entries": [
+            entry.to_dict() for entry in outcome.stale_entries
+        ],
+        "stats": outcome.report.stats_dict(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

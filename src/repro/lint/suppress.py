@@ -1,0 +1,63 @@
+"""Inline suppressions: ``# repro-lint: disable=RPR001[,RPR002]``.
+
+A suppression comment on a line silences the named rules for findings
+*on that line*.  A ``disable-file=`` comment within the first ten lines
+of a module silences the named rules for the whole file.  ``disable=all``
+silences every rule.  Suppressions are for code where the violation is
+the point (test fixtures, deliberate counter-examples); anything
+long-lived in ``src/`` belongs in the baseline with a written reason,
+where it is visible in review.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9,\s]+)"
+)
+_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=(?P<rules>[A-Za-z0-9,\s]+)"
+)
+#: How deep into a file a ``disable-file=`` comment is honoured.
+_FILE_COMMENT_WINDOW = 10
+
+
+def _parse_rules(text: str) -> frozenset[str]:
+    return frozenset(
+        part.strip().upper() for part in text.split(",") if part.strip()
+    )
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed once from the source text."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    whole_file: frozenset[str] = frozenset()
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        by_line: dict[int, frozenset[str]] = {}
+        whole_file: frozenset[str] = frozenset()
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "repro-lint" not in line:
+                continue
+            file_match = _FILE_RE.search(line)
+            if file_match and number <= _FILE_COMMENT_WINDOW:
+                whole_file = whole_file | _parse_rules(file_match.group("rules"))
+                continue
+            line_match = _LINE_RE.search(line)
+            if line_match:
+                by_line[number] = _parse_rules(line_match.group("rules"))
+        return cls(by_line=by_line, whole_file=whole_file)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        if "ALL" in self.whole_file or rule_id in self.whole_file:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "ALL" in rules or rule_id in rules

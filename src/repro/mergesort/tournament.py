@@ -116,18 +116,17 @@ def heap_merge(sources: Iterable[Iterable]) -> Iterator:
     """Reference k-way merge via ``heapq`` (for differential testing)."""
     import heapq
 
+    exhausted = object()  # next() sentinel: avoids swallowing StopIteration
     iterators = [iter(source) for source in sources]
     heap = []
     for index, iterator in enumerate(iterators):
-        try:
-            heap.append((next(iterator), index))
-        except StopIteration:
-            pass
+        first = next(iterator, exhausted)
+        if first is not exhausted:
+            heap.append((first, index))
     heapq.heapify(heap)
     while heap:
         item, index = heapq.heappop(heap)
         yield item
-        try:
-            heapq.heappush(heap, (next(iterators[index]), index))
-        except StopIteration:
-            pass
+        following = next(iterators[index], exhausted)
+        if following is not exhausted:
+            heapq.heappush(heap, (following, index))

@@ -91,6 +91,27 @@ class SweepResult:
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`: reload an exported sweep result."""
+        return cls(
+            spec=SweepSpec.from_dict(data["spec"]),
+            cells=[
+                AggregateMetrics.from_dict(cell) for cell in data["cells"]
+            ],
+            stats=SweepStats.from_dict(data["stats"]),
+            failures=[
+                JobFailure(
+                    index=failure["index"],
+                    key=failure["key"],
+                    description=failure["description"],
+                    attempts=failure["attempts"],
+                    error=failure["error"],
+                )
+                for failure in data["failures"]
+            ],
+        )
+
 
 class SweepEngine:
     """Executes sweep jobs with caching, parallelism, and retries.

@@ -37,6 +37,43 @@ from repro.faults.plan import FaultPlan
 #: 2: fault-injection counters added to DriveStats / MergeMetrics.
 CACHE_SCHEMA_VERSION = 2
 
+#: The explicit cache-key inventory of every ``SimulationConfig`` field.
+#: Adding a field to the dataclass requires a decision here — is it
+#: behaviour-relevant (``KNOWN_CONFIG_FIELDS``, and bump
+#: ``CACHE_SCHEMA_VERSION``) or deliberately excluded from the key
+#: (``KEY_EXCLUDED_FIELDS``)?  Lint rule RPR003 parses both modules and
+#: fails when the inventory and the dataclass disagree;
+#: ``tests/sweep/test_keys.py`` enforces the same invariant at runtime.
+KNOWN_CONFIG_FIELDS = (
+    "num_runs",
+    "num_disks",
+    "strategy",
+    "prefetch_depth",
+    "blocks_per_run",
+    "cache_capacity",
+    "synchronized",
+    "cpu_ms_per_block",
+    "cache_policy",
+    "victim_selector",
+    "disk",
+    "geometry",
+    "stream_across_requests",
+    "queue_discipline",
+    "write_disks",
+    "write_buffer_blocks",
+    "record_timelines",
+    "record_requests",
+    "adaptive_depth",
+    "fault_plan",
+)
+
+#: Fields deliberately absent from cache keys: ``trials``/``base_seed``
+#: because the cache works at per-trial granularity (the derived trial
+#: seed is hashed instead), ``kernel`` because both kernels produce
+#: bit-identical metrics (enforced by the bench equivalence suite) and
+#: must share cache entries.
+KEY_EXCLUDED_FIELDS = ("trials", "base_seed", "kernel")
+
 #: Enum-valued ``SimulationConfig`` fields and their types, used both to
 #: serialize (enum -> value) and to coerce plain strings from CLI /
 #: JSON sweep specs back into enums.
@@ -101,12 +138,8 @@ def canonical_json(payload: Any) -> str:
 def cache_key(config: SimulationConfig, seed: int) -> str:
     """Content address of one simulation trial: sha256 hex digest."""
     payload = config_to_dict(config)
-    del payload["trials"]
-    del payload["base_seed"]
-    # The simulation kernel is a pure performance choice: both kernels
-    # produce bit-identical metrics (enforced by the bench test suite),
-    # so results computed under either share one cache entry.
-    payload.pop("kernel", None)
+    for name in KEY_EXCLUDED_FIELDS:
+        payload.pop(name, None)
     # A behaviourally empty fault plan is byte-identical to no plan, so
     # both address the same cached trial.
     if config.fault_plan is not None and config.fault_plan.is_empty():

@@ -10,6 +10,7 @@ the same way.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 import time
@@ -75,6 +76,20 @@ class SweepStats:
             "cache_hit_ratio": self.cache_hit_ratio,
             "started_at": self.started_at,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepStats":
+        """Inverse of :meth:`to_dict`.
+
+        ``throughput_jobs_per_s`` and ``cache_hit_ratio`` are derived
+        properties, recomputed rather than stored; reading them here
+        keeps the round-trip total and documents the asymmetry.
+        """
+        data = dict(data)
+        data.pop("throughput_jobs_per_s", None)
+        data.pop("cache_hit_ratio", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def export_json(self, path: Path | str) -> Path:
         """Write the counters as JSON; returns the path."""

@@ -1,0 +1,45 @@
+"""RPR001 golden fixture: determinism violations plus allowed idioms.
+
+Never imported — tests/lint/test_rules.py parses this file and lints it
+as if it lived at ``src/repro/sim/lint_fixture.py``.  Each line carrying
+an expect tag must yield exactly one RPR001 finding whose message
+contains the tag text; every untagged line must yield none.
+"""
+
+import datetime
+import os
+import random
+import time
+
+from random import choice  # expect: from random import choice
+
+import numpy.random  # expect: import of numpy.random
+
+
+def draws_from_global_rng():
+    return random.random()  # expect: module-level random.random()
+
+
+def builds_unseeded_stream():
+    return random.Random()  # expect: unseeded random.Random()
+
+
+def reads_wall_clock():
+    return time.perf_counter()  # expect: wall-clock time.perf_counter()
+
+
+def reads_os_entropy():
+    return os.urandom(8)  # expect: OS entropy os.urandom()
+
+
+def stamps_wall_clock():
+    return datetime.datetime.now()  # expect: wall-clock datetime.datetime.now()
+
+
+def seeded_stream_is_fine(seed):
+    stream = random.Random(seed)
+    return stream.random()
+
+
+def virtual_time_is_fine(now_ms, service_ms):
+    return now_ms + service_ms

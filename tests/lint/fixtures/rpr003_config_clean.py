@@ -1,0 +1,15 @@
+"""RPR003 golden fixture: a config dataclass in sync with the inventory.
+
+Never imported — tests/lint/test_schema_rule.py points the cache-key
+schema rule's ``config-module`` at this file and its ``keys-module`` at
+rpr003_keys_clean.py; together they must produce zero findings.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    num_runs: int
+    num_disks: int = 2
+    trials: int = 5

@@ -1,0 +1,16 @@
+"""RPR003 golden fixture: a config field nobody inventoried.
+
+Identical to rpr003_config_clean.py except for ``write_caching``, which
+appears in neither KNOWN_CONFIG_FIELDS nor KEY_EXCLUDED_FIELDS of
+rpr003_keys_clean.py — the rule must flag exactly that field.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    num_runs: int
+    num_disks: int = 2
+    trials: int = 5
+    write_caching: bool = False

@@ -1,0 +1,4 @@
+"""RPR003 golden fixture: the inventory matching rpr003_config_clean.py."""
+
+KNOWN_CONFIG_FIELDS = ("num_runs", "num_disks")
+KEY_EXCLUDED_FIELDS = ("trials",)

@@ -1,0 +1,9 @@
+"""RPR003 golden fixture: a stale and a contradictory inventory entry.
+
+Against rpr003_config_clean.py this inventory must yield two findings:
+``retired_field`` is not a config field (stale entry), and
+``num_disks`` appears in both tuples (contradictory decision).
+"""
+
+KNOWN_CONFIG_FIELDS = ("num_runs", "num_disks", "retired_field")
+KEY_EXCLUDED_FIELDS = ("trials", "num_disks")

@@ -1,0 +1,54 @@
+"""RPR004 golden fixture: ``to_dict``/``from_dict`` symmetry.
+
+Never imported — parsed and linted by tests/lint/test_rules.py.  Tag
+semantics as in rpr001_determinism.
+"""
+
+
+class WriteOnly:  # expect: defines to_dict but no from_dict
+    def to_dict(self):
+        return {"value": self.value}
+
+
+class DropsKey:
+    def to_dict(self):
+        return {"value": self.value, "extra": self.extra}
+
+    @classmethod
+    def from_dict(cls, data):  # expect: never references to_dict key 'extra'
+        instance = cls()
+        instance.value = data["value"]
+        return instance
+
+
+class Symmetric:
+    def to_dict(self):
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, data):
+        instance = cls()
+        instance.value = data["value"]
+        return instance
+
+
+class GenericInverse:
+    def to_dict(self):
+        return {"value": self.value, "extra": self.extra}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+class DelegatingInverse:
+    def to_dict(self):
+        return {"value": self.value, "extra": self.extra}
+
+    @classmethod
+    def from_dict(cls, data):
+        return _shared_loader(cls, data)
+
+
+def _shared_loader(cls, data):
+    return cls(**data)

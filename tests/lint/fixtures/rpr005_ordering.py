@@ -1,0 +1,27 @@
+"""RPR005 golden fixture: no set iteration in event-ordering code.
+
+Never imported — linted as if it lived under ``src/repro/disks/``.
+Tag semantics as in rpr001_determinism.
+"""
+
+
+def drains_in_set_order(pending):
+    for request in {3, 1, 2}:  # expect: iteration over a set
+        pending.append(request)
+
+
+def comprehension_over_set(block_ids):
+    return [block_id * 2 for block_id in set(block_ids)]  # expect: iteration over a set
+
+
+def generator_over_frozenset(block_ids):
+    return sum(block_id for block_id in frozenset(block_ids))  # expect: iteration over a set
+
+
+def sorted_set_is_fine(block_ids):
+    return [block_id for block_id in sorted(set(block_ids))]
+
+
+def list_iteration_is_fine(queue):
+    for request in queue:
+        yield request

@@ -1,0 +1,42 @@
+"""RPR006 golden fixture: exception discipline in worker/retry code.
+
+Never imported — linted as if it lived under ``src/repro/sweep/`` (a
+configured broad-except module).  Tag semantics as in
+rpr001_determinism.
+"""
+
+
+def bare_handler(job):
+    try:
+        return job()
+    except:  # expect: bare except:
+        return None
+
+
+def swallows_failure(job):
+    try:
+        return job()
+    except ValueError:  # expect: except ValueError: with a pass-only body
+        pass
+
+
+def over_catches(job):
+    try:
+        return job()
+    except Exception:  # expect: broad except Exception in worker/retry code
+        return None
+
+
+def narrow_handling_is_fine(job):
+    try:
+        return job()
+    except ValueError as exc:
+        return str(exc)
+
+
+def cleanup_and_reraise_is_fine(job, scratch):
+    try:
+        return job()
+    except BaseException:
+        scratch.clear()
+        raise

@@ -1,0 +1,29 @@
+"""RPR007 golden fixture: mutable default arguments.
+
+Never imported — parsed and linted by tests/lint/test_rules.py.  Tag
+semantics as in rpr001_determinism.
+"""
+
+
+def appends_to_shared_list(value, bucket=[]):  # expect: mutable default [] for argument 'bucket'
+    bucket.append(value)
+    return bucket
+
+
+def shares_a_dict(value, *, registry={}):  # expect: mutable default {} for argument 'registry'
+    registry[value] = True
+    return registry
+
+
+def builds_a_set(seen=set()):  # expect: mutable default set() for argument 'seen'
+    return seen
+
+
+def none_default_is_fine(bucket=None):
+    if bucket is None:
+        bucket = []
+    return bucket
+
+
+def immutable_defaults_are_fine(count=0, label="", pair=(1, 2)):
+    return count, label, pair

@@ -1,0 +1,19 @@
+"""RPR008 golden fixture: no ambient-stdout ``print()`` in library code.
+
+Never imported — linted as if it lived under ``src/repro/analysis/``
+(not a print-allowed module).  Tag semantics as in rpr001_determinism.
+"""
+
+import sys
+
+
+def narrates_to_ambient_stdout(result):
+    print("total:", result)  # expect: print() without an explicit file=
+
+
+def injected_stream_is_fine(result, out):
+    print("total:", result, file=out)
+
+
+def stderr_is_fine_too(result):
+    print("total:", result, file=sys.stderr)

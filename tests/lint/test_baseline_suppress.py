@@ -1,0 +1,125 @@
+"""Baseline matching and inline suppressions: the two escape hatches."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import TODO_REASON, Baseline, BaselineEntry
+from repro.lint.findings import Finding, Severity
+from repro.lint.suppress import Suppressions
+
+
+def _finding(line=10, rule="RPR001", path="src/repro/sim/engine.py",
+             message="a violation"):
+    return Finding(
+        path=path, line=line, rule=rule, message=message,
+        severity=Severity.ERROR,
+    )
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_split_partitions_new_grandfathered_and_stale():
+    baseline = Baseline(entries=[
+        BaselineEntry(rule="RPR001", path="src/repro/sim/engine.py",
+                      message="a violation", reason="known"),
+        BaselineEntry(rule="RPR006", path="src/repro/sweep/engine.py",
+                      message="long gone", reason="paid down"),
+    ])
+    grandfatherable = _finding()
+    fresh = _finding(message="a brand-new violation")
+    new, grandfathered, stale = baseline.split([grandfatherable, fresh])
+    assert new == [fresh]
+    assert grandfathered == [grandfatherable]
+    assert [entry.message for entry in stale] == ["long gone"]
+
+
+def test_matching_ignores_line_numbers():
+    # Edits above a grandfathered site shift its line; the fingerprint
+    # (rule, path, message) must keep matching regardless.
+    baseline = Baseline(entries=[
+        BaselineEntry(rule="RPR001", path="src/repro/sim/engine.py",
+                      message="a violation"),
+    ])
+    new, grandfathered, _ = baseline.split([_finding(line=999)])
+    assert new == [] and len(grandfathered) == 1
+
+
+def test_one_entry_absorbs_every_same_message_site():
+    baseline = Baseline(entries=[
+        BaselineEntry(rule="RPR001", path="src/repro/sim/engine.py",
+                      message="a violation"),
+    ])
+    new, grandfathered, stale = baseline.split(
+        [_finding(line=10), _finding(line=20)]
+    )
+    assert new == [] and len(grandfathered) == 2 and stale == []
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == []
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        Baseline.load(path)
+
+
+def test_write_load_round_trip_preserves_reasons(tmp_path):
+    original = Baseline(entries=[
+        BaselineEntry(rule="RPR006", path="b.py", message="m2", reason="why"),
+        BaselineEntry(rule="RPR001", path="a.py", message="m1", reason="because"),
+    ])
+    path = original.write(tmp_path / "baseline.json")
+    reloaded = Baseline.load(path)
+    # written sorted by (path, rule, message) for stable diffs
+    assert [entry.path for entry in reloaded.entries] == ["a.py", "b.py"]
+    assert {entry.reason for entry in reloaded.entries} == {"because", "why"}
+
+
+def test_from_findings_keeps_prior_reasons_and_deduplicates():
+    previous = Baseline(entries=[
+        BaselineEntry(rule="RPR001", path="src/repro/sim/engine.py",
+                      message="a violation", reason="reviewed 2026-08"),
+    ])
+    rebuilt = Baseline.from_findings(
+        [_finding(line=10), _finding(line=20),
+         _finding(message="unreviewed")],
+        previous,
+    )
+    assert len(rebuilt.entries) == 2  # same-fingerprint sites collapse
+    by_message = {entry.message: entry.reason for entry in rebuilt.entries}
+    assert by_message["a violation"] == "reviewed 2026-08"
+    assert by_message["unreviewed"] == TODO_REASON
+
+
+# -- inline suppressions -----------------------------------------------------
+
+def test_line_suppression_silences_only_its_line_and_rules():
+    suppressions = Suppressions.parse(
+        "x = 1\n"
+        "y = wall_clock()  # repro-lint: disable=RPR001,RPR006\n"
+        "z = wall_clock()\n"
+    )
+    assert suppressions.is_suppressed("RPR001", 2)
+    assert suppressions.is_suppressed("RPR006", 2)
+    assert not suppressions.is_suppressed("RPR002", 2)
+    assert not suppressions.is_suppressed("RPR001", 3)
+
+
+def test_file_suppression_honoured_only_near_the_top():
+    head = "# repro-lint: disable-file=RPR008\n" + "x = 1\n" * 20
+    suppressions = Suppressions.parse(head)
+    assert suppressions.is_suppressed("RPR008", 15)
+    late = "x = 1\n" * 20 + "# repro-lint: disable-file=RPR008\n"
+    assert not Suppressions.parse(late).is_suppressed("RPR008", 15)
+
+
+def test_disable_all_silences_every_rule():
+    suppressions = Suppressions.parse(
+        "y = wall_clock()  # repro-lint: disable=all\n"
+    )
+    assert suppressions.is_suppressed("RPR001", 1)
+    assert suppressions.is_suppressed("RPR008", 1)

@@ -1,0 +1,128 @@
+"""Golden-fixture tests: every rule id, firing and non-firing.
+
+Each fixture under ``fixtures/`` carries ``# expect:`` markers on its
+violating lines; the test asserts the rule reports *exactly* those
+lines (rule id, line number, severity, path) with messages containing
+the marker text — and nothing else, which is the non-firing half: the
+"good" sections of every fixture are unmarked and must stay silent.
+"""
+
+import pytest
+
+from lint_helpers import (
+    expected_markers,
+    load_fixture,
+    module_from_source,
+    run_rule,
+)
+from repro.lint.config import LintConfig
+from repro.lint.findings import Severity
+from repro.lint.registry import all_rules, get_rule, path_matches
+
+#: (rule id, fixture file, fabricated repo path, expected severity).
+GOLDEN_CASES = [
+    ("RPR001", "rpr001_determinism.py",
+     "src/repro/sim/lint_fixture.py", Severity.ERROR),
+    ("RPR002", "rpr002_slots.py",
+     "src/repro/sim/fast.py", Severity.ERROR),
+    ("RPR004", "rpr004_serialization.py",
+     "src/repro/bench/lint_fixture.py", Severity.ERROR),
+    ("RPR005", "rpr005_ordering.py",
+     "src/repro/disks/lint_fixture.py", Severity.ERROR),
+    ("RPR006", "rpr006_excepts.py",
+     "src/repro/sweep/lint_fixture.py", Severity.WARNING),
+    ("RPR007", "rpr007_defaults.py",
+     "src/repro/mergesort/lint_fixture.py", Severity.ERROR),
+    ("RPR008", "rpr008_print.py",
+     "src/repro/analysis/lint_fixture.py", Severity.WARNING),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,relpath,severity",
+    GOLDEN_CASES,
+    ids=[case[0] for case in GOLDEN_CASES],
+)
+def test_rule_reports_exactly_the_marked_lines(
+    rule_id, fixture, relpath, severity
+):
+    module = load_fixture(fixture, relpath)
+    expected = expected_markers(module)
+    assert expected, f"{fixture} must mark at least one violation"
+    findings = run_rule(rule_id, module)
+    assert [f.line for f in findings] == [line for line, _ in expected]
+    for finding, (line, substring) in zip(findings, expected):
+        assert finding.rule == rule_id
+        assert finding.line == line
+        assert finding.path == relpath
+        assert finding.severity is severity
+        assert substring in finding.message
+
+
+#: Scoped rules go silent when the same fixture lives outside their
+#: configured modules.
+OUT_OF_SCOPE_CASES = [
+    ("RPR001", "rpr001_determinism.py", "src/repro/analysis/tools.py"),
+    ("RPR001", "rpr001_determinism.py", "src/repro/sim/random_streams.py"),
+    ("RPR002", "rpr002_slots.py", "src/repro/sim/engine.py"),
+    ("RPR005", "rpr005_ordering.py", "src/repro/sweep/lint_fixture.py"),
+    ("RPR008", "rpr008_print.py", "src/repro/cli.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,relpath",
+    OUT_OF_SCOPE_CASES,
+    ids=[f"{c[0]}-{c[2].rsplit('/', 1)[1]}" for c in OUT_OF_SCOPE_CASES],
+)
+def test_scoped_rule_is_silent_outside_its_modules(rule_id, fixture, relpath):
+    assert run_rule(rule_id, load_fixture(fixture, relpath)) == []
+
+
+def test_broad_except_needs_retry_scope_but_bare_except_does_not():
+    # Outside the broad-except modules the catch-all stops firing while
+    # the universal checks (bare except, swallowed failure) remain.
+    module = load_fixture("rpr006_excepts.py", "src/repro/analysis/tools.py")
+    messages = [f.message for f in run_rule("RPR006", module)]
+    assert len(messages) == 2
+    assert any("bare except" in message for message in messages)
+    assert any("pass-only body" in message for message in messages)
+    assert not any("worker/retry" in message for message in messages)
+
+
+def test_registry_covers_all_eight_rules_with_stable_ids():
+    rules = all_rules()
+    assert [rule.rule_id for rule in rules] == [
+        f"RPR00{index}" for index in range(1, 9)
+    ]
+    assert all(rule.rationale for rule in rules)
+    assert {rule.scope for rule in rules} == {"file", "project"}
+    assert get_rule("RPR003").scope == "project"
+
+
+def test_unknown_rule_id_is_a_clear_error():
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        get_rule("RPR999")
+
+
+def test_path_matching_is_component_wise():
+    prefixes = ["repro/sim", "repro/sim/fast.py"]
+    assert path_matches("repro/sim/engine.py", prefixes)
+    assert path_matches("repro/sim/fast.py", ["repro/sim/fast.py"])
+    # a directory prefix must not match a sibling sharing the spelling
+    assert not path_matches("repro/simulation/engine.py", ["repro/sim"])
+    assert not path_matches("repro/sim/fast_extra.py", ["repro/sim/fast.py"])
+
+
+def test_unseeded_random_outside_simulation_modules_is_allowed():
+    source = "import random\nstream = random.Random()\n"
+    module = module_from_source(source, "src/repro/analysis/tools.py")
+    assert run_rule("RPR001", module) == []
+    in_scope = module_from_source(source, "src/repro/disks/drive.py")
+    assert [f.line for f in run_rule("RPR001", in_scope)] == [2]
+
+
+def test_disabled_rule_is_skipped_by_config():
+    config = LintConfig(disable=["RPR008"])
+    assert config.is_disabled("RPR008")
+    assert not config.is_disabled("RPR001")

@@ -95,3 +95,18 @@ def test_coerce_params_accepts_strings_and_dicts():
 def test_coerce_params_passes_enums_through():
     params = coerce_params({"strategy": PrefetchStrategy.NONE})
     assert params["strategy"] is PrefetchStrategy.NONE
+
+
+def test_field_inventory_covers_the_dataclass_exactly():
+    # The runtime half of lint rule RPR003: every SimulationConfig
+    # field is either folded into the cache key (KNOWN_CONFIG_FIELDS)
+    # or deliberately excluded (KEY_EXCLUDED_FIELDS) -- never both,
+    # never neither.  Adding a field without updating keys.py fails
+    # here *and* under `repro lint`.
+    import dataclasses
+
+    from repro.sweep.keys import KEY_EXCLUDED_FIELDS, KNOWN_CONFIG_FIELDS
+
+    field_names = {f.name for f in dataclasses.fields(SimulationConfig)}
+    assert set(KNOWN_CONFIG_FIELDS) | set(KEY_EXCLUDED_FIELDS) == field_names
+    assert not set(KNOWN_CONFIG_FIELDS) & set(KEY_EXCLUDED_FIELDS)

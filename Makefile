@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast lint sweep-smoke bench bench-smoke bench-pytest check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sweep-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,7 +16,7 @@ test:
 	$(PYTHON) scripts/sweep_smoke.py
 	$(PYTHON) -m repro lint src --stats
 
-# Static invariant enforcement (rules RPR001-RPR008, docs/LINT.md);
+# Static invariant enforcement (rules RPR001-RPR009, docs/LINT.md);
 # exits non-zero on any finding not in lint-baseline.json.
 lint:
 	$(PYTHON) -m repro lint src --stats
@@ -39,6 +39,14 @@ bench-smoke:
 	$(PYTHON) -m repro bench run --scenario smoke-d2 --out-dir results/bench
 	$(PYTHON) -m repro bench compare BENCH_smoke-d2.json \
 		results/bench/BENCH_smoke-d2.json --threshold 2.0
+
+# Traced replay of the pinned merge-d5 scenario: exercises the
+# repro.obs pipeline end to end (trace collection, busy-accounting
+# cross-check, Chrome export, schema validation).  What CI's obs-smoke
+# job runs.
+obs-smoke:
+	$(PYTHON) -m repro run merge-d5 --trace-out results/obs/merge-d5.json
+	$(PYTHON) -m repro trace validate results/obs/merge-d5.json
 
 # The pytest-benchmark suite (paper-artifact regeneration timings).
 bench-pytest:

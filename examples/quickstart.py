@@ -43,8 +43,8 @@ def main() -> None:
         result = simulate_merge(
             K_RUNS,
             DISKS,
-            strategy,
-            DEPTH,
+            strategy=strategy,
+            prefetch_depth=DEPTH,
             blocks_per_run=BLOCKS_PER_RUN,
             trials=TRIALS,
             **extra,

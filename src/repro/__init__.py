@@ -34,8 +34,12 @@ Subpackages:
 * :mod:`repro.sweep` -- parallel parameter sweeps over a worker pool
   with a persistent, content-addressed result cache and resumable
   campaigns.
+* :mod:`repro.obs` -- structured tracing and metrics (Chrome-trace,
+  JSONL, and text-timeline exporters), enabled through
+  :class:`repro.api.RunContext`.
 """
 
+from repro.api import RunContext, configure
 from repro.core import (
     Aggregate,
     AggregateMetrics,
@@ -61,9 +65,11 @@ __all__ = [
     "MergeMetrics",
     "MergeSimulation",
     "PrefetchStrategy",
+    "RunContext",
     "RunLayout",
     "SimulationConfig",
     "VictimSelector",
     "__version__",
+    "configure",
     "simulate_merge",
 ]

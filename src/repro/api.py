@@ -1,0 +1,190 @@
+"""The run-context API: one ambient scope for *how* simulations run.
+
+Historically the repo grew three parallel ambient mechanisms, each a
+module global plus a setter plus a context manager in
+:mod:`repro.core.simulator`:
+
+* ``simulation_backend`` — route :meth:`MergeSimulation.run` through
+  the sweep engine's cache and worker pool,
+* ``fault_plan_override`` — subject plan-free configs to a fault
+  schedule,
+* ``kernel_override`` — execute on a named (result-equivalent) kernel.
+
+:class:`RunContext` composes all three, plus tracing, behind a single
+scope::
+
+    from repro.api import configure
+
+    with configure(kernel="fast", trace=True) as ctx:
+        result = MergeSimulation(config).run()
+    ctx.trace.export_chrome("merge.json")
+
+Every option distinguishes *unset* (inherit the enclosing scope) from
+an explicit ``None`` (clear for this scope), so contexts nest the way
+lexical scopes do.  The old setters and context managers still work as
+deprecated shims that delegate here.
+
+This module is import-light on purpose: :mod:`repro.core.simulator`
+and :mod:`repro.core.merge_sim` read the ambient state from here, so
+importing anything from ``repro.core`` at module level would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
+
+from repro.obs.collector import TraceSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import AggregateMetrics
+    from repro.core.parameters import SimulationConfig
+    from repro.faults.plan import FaultPlan
+
+    SimulationBackend = Callable[["SimulationConfig"], "AggregateMetrics"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNSET"
+
+
+UNSET = _Unset()
+
+#: The ambient option names, in the order RunContext accepts them.
+_FIELDS = ("backend", "fault_plan", "kernel", "trace")
+
+#: Ambient state shared by every RunContext (module-level, like the
+#: three globals it replaces).  Values are ``None`` when inactive.
+_state: dict[str, Any] = {name: None for name in _FIELDS}
+
+
+def current_backend() -> Optional["SimulationBackend"]:
+    """The ambient simulation backend, if any."""
+    return _state["backend"]
+
+
+def current_fault_plan() -> Optional["FaultPlan"]:
+    """The ambient fault plan applied to plan-free configs, if any."""
+    return _state["fault_plan"]
+
+
+def current_kernel() -> Optional[str]:
+    """The ambient kernel-name override, if any."""
+    return _state["kernel"]
+
+
+def current_trace() -> Optional[TraceSession]:
+    """The ambient trace session, if tracing is on.
+
+    This is *the* tracing switch: simulation code holds the returned
+    session (or ``None``) and guards every emission with
+    ``if trace is not None``.
+    """
+    return _state["trace"]
+
+
+def _set(name: str, value: Any) -> Any:
+    """Install one ambient value, returning the previous one."""
+    previous = _state[name]
+    _state[name] = value
+    return previous
+
+
+def set_option(name: str, value: Any) -> Any:
+    """Unscoped install of one ambient option; returns the previous value.
+
+    Prefer :class:`RunContext` — this exists for the deprecated
+    ``set_*`` shims in :mod:`repro.core.simulator`, which promised
+    set-and-return-previous semantics.
+    """
+    if name not in _FIELDS:
+        raise ValueError(
+            f"unknown run option {name!r} (known: {', '.join(_FIELDS)})"
+        )
+    return _set(name, value)
+
+
+class RunContext:
+    """One scoped bundle of ambient run options.
+
+    Options left unset inherit from the enclosing scope; options set to
+    ``None`` are cleared inside the scope.  ``trace=True`` creates a
+    fresh :class:`~repro.obs.collector.TraceSession` (available as
+    :attr:`trace` during and after the scope); an existing session can
+    be passed to accumulate several runs into one trace.
+
+    Reusable and reentrant: each ``with`` entry snapshots exactly the
+    fields this context sets and restores them on exit.
+    """
+
+    __slots__ = ("_options", "_saved")
+
+    def __init__(
+        self,
+        *,
+        backend: Union["SimulationBackend", None, _Unset] = UNSET,
+        fault_plan: Union["FaultPlan", None, _Unset] = UNSET,
+        kernel: Union[str, None, _Unset] = UNSET,
+        trace: Union[TraceSession, bool, None, _Unset] = UNSET,
+    ) -> None:
+        if trace is True:
+            trace = TraceSession()
+        elif trace is False:
+            trace = None
+        self._options: dict[str, Any] = {}
+        for name, value in (
+            ("backend", backend),
+            ("fault_plan", fault_plan),
+            ("kernel", kernel),
+            ("trace", trace),
+        ):
+            if not isinstance(value, _Unset):
+                self._options[name] = value
+        self._saved: list[dict[str, Any]] = []
+
+    @property
+    def trace(self) -> Optional[TraceSession]:
+        """The trace session this context installs (or ``None``)."""
+        return self._options.get("trace")
+
+    @property
+    def kernel(self) -> Optional[str]:
+        """The kernel override this context installs (or ``None``)."""
+        return self._options.get("kernel")
+
+    def __enter__(self) -> "RunContext":
+        self._saved.append(
+            {name: _set(name, value) for name, value in self._options.items()}
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for name, value in self._saved.pop().items():
+            _set(name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rendered = ", ".join(
+            f"{name}={value!r}" for name, value in self._options.items()
+        )
+        return f"RunContext({rendered})"
+
+
+def configure(
+    *,
+    backend: Union["SimulationBackend", None, _Unset] = UNSET,
+    fault_plan: Union["FaultPlan", None, _Unset] = UNSET,
+    kernel: Union[str, None, _Unset] = UNSET,
+    trace: Union[TraceSession, bool, None, _Unset] = UNSET,
+) -> RunContext:
+    """Build a :class:`RunContext` — the idiomatic spelling.
+
+    ``with configure(kernel="fast"): ...`` reads better at call sites
+    than naming the class; the two are interchangeable.
+    """
+    return RunContext(
+        backend=backend, fault_plan=fault_plan, kernel=kernel, trace=trace
+    )

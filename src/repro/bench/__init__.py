@@ -31,6 +31,7 @@ from repro.bench.scenarios import (
     SCENARIOS,
     BenchScenario,
     get_scenario,
+    scenario_config,
     scenario_names,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "regressions",
     "render_comparison",
     "run_scenario",
+    "scenario_config",
     "scenario_names",
     "timed_call",
     "validate_report",

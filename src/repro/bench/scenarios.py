@@ -16,7 +16,7 @@ solves for the Markov scenario.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
 from repro.faults.plan import transient_plan
@@ -40,18 +40,23 @@ class BenchScenario:
     #: Default timed repetitions / untimed warmup calls.
     repeats: int = 5
     warmup: int = 1
+    #: The pinned simulation config, for scenarios that are one merge
+    #: configuration (lets ``repro run <scenario>`` replay the exact
+    #: workload outside the timing harness; None for composite
+    #: workloads like sweeps and pure analysis).
+    config: Optional[SimulationConfig] = None
 
 
-def _merge_build(**config_kwargs) -> Callable[[str], Workload]:
+def _merge_build(config: SimulationConfig) -> Callable[[str], Workload]:
     """Workload factory for one merge configuration."""
 
     def build(kernel: str) -> Workload:
         from repro.core.simulator import MergeSimulation
 
-        config = SimulationConfig(kernel=kernel, **config_kwargs)
+        variant = dataclasses.replace(config, kernel=kernel)
 
         def workload():
-            return MergeSimulation(config).run()
+            return MergeSimulation(variant).run()
 
         return workload
 
@@ -73,13 +78,15 @@ def _merge_scenario(
     warmup: int = 1,
     **config_kwargs,
 ) -> BenchScenario:
+    config = SimulationConfig(**config_kwargs)
     return BenchScenario(
         name=name,
         description=description,
         workload_events=_merge_events(config_kwargs),
-        build=_merge_build(**config_kwargs),
+        build=_merge_build(config),
         repeats=repeats,
         warmup=warmup,
+        config=config,
     )
 
 
@@ -209,3 +216,18 @@ def get_scenario(name: str) -> BenchScenario:
             f"unknown bench scenario {name!r}: "
             f"choose one of {', '.join(scenario_names())}"
         ) from None
+
+
+def scenario_config(name: str) -> SimulationConfig:
+    """The pinned config of a single-configuration scenario.
+
+    Raises ValueError for unknown scenarios and for composite ones
+    (sweeps, pure analysis) that have no single config to replay.
+    """
+    scenario = get_scenario(name)
+    if scenario.config is None:
+        raise ValueError(
+            f"bench scenario {name!r} is not a single merge "
+            "configuration and cannot be replayed with 'repro run'"
+        )
+    return scenario.config

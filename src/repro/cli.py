@@ -26,6 +26,47 @@ from repro.core.simulator import MergeSimulation
 from repro.sim.fast import kernel_names
 
 
+def _common_parser() -> argparse.ArgumentParser:
+    """The shared parent parser of ``run``/``simulate``/``sweep``/``bench run``.
+
+    One definition per flag, uniform spelling and defaults everywhere:
+    ``--kernel``/``--faults``/``--seed`` default to None (each command
+    applies its own fallback), ``--trace``/``--trace-out`` turn on the
+    observability layer (:mod:`repro.obs`).
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group(
+        "common options (uniform across run, simulate, sweep, bench run)"
+    )
+    group.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="simulation kernel (results are bit-identical across "
+        "kernels; 'fast' only changes wall-clock time)",
+    )
+    group.add_argument(
+        "--faults", metavar="PLAN_JSON", default=None,
+        help="subject plan-free configurations to this fault plan "
+        "(JSON file, see repro.faults); a zero-fault plan reproduces "
+        "the baseline numbers exactly",
+    )
+    group.add_argument(
+        "--seed", type=int, default=None,
+        help="override the base seed (default: the command's pinned seed)",
+    )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="collect a structured trace (repro.obs) and print a text "
+        "timeline",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the collected trace to PATH: .json = Chrome "
+        "trace_event (Perfetto-loadable), .jsonl = flat event log; "
+        "implies --trace",
+    )
+    return common
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -34,16 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "multiple disks for external mergesort."
         ),
     )
+    common = _common_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all registered experiments")
 
-    run = sub.add_parser("run", help="run experiments by id (or 'all')")
-    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run = sub.add_parser(
+        "run", parents=[common],
+        help="run experiments by id (or 'all', or a bench scenario name)",
+    )
+    run.add_argument(
+        "ids", nargs="+",
+        help="experiment ids, 'all', or single-config bench scenario "
+        "names (e.g. merge-d5)",
+    )
     run.add_argument("--quick", action="store_true", help="reduced scale")
     run.add_argument("--trials", type=int, help="override trial count")
     run.add_argument("--blocks", type=int, help="override blocks per run")
-    run.add_argument("--seed", type=int, help="override base seed")
     run.add_argument("--out", help="also write the report to this file")
     run.add_argument(
         "--export-dir",
@@ -58,18 +106,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="result cache directory used with --workers "
         "(default results/cache)",
-    )
-    run.add_argument(
-        "--faults", metavar="PLAN_JSON", default=None,
-        help="subject every experiment to this fault plan "
-        "(JSON file, see repro.faults); a zero-fault plan reproduces "
-        "the baseline numbers exactly",
-    )
-    run.add_argument(
-        "--kernel", choices=kernel_names(), default=None,
-        help="simulation kernel for every experiment (results are "
-        "bit-identical across kernels; 'fast' only changes wall-clock "
-        "time)",
     )
 
     sub.add_parser(
@@ -150,7 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="re-read and check the output after sorting")
 
     sweep = sub.add_parser(
-        "sweep",
+        "sweep", parents=[common],
         help="parallel parameter sweep with a persistent result cache; "
         "comma-separate a flag's values to sweep it "
         "(e.g. -D 1,2,5 -N 5,10,20)",
@@ -172,22 +208,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="CPU ms per block (comma list to sweep)")
     sweep.add_argument("--blocks", type=int, default=1000)
     sweep.add_argument("--trials", type=int, default=5)
-    sweep.add_argument("--seed", type=int, default=1992)
     sweep.add_argument("--sync", action="store_true")
-    sweep.add_argument(
-        "--faults", metavar="PLAN_JSON", default=None,
-        help="fault plan JSON applied to every swept configuration",
-    )
     sweep.add_argument(
         "--fault-rate", default=None,
         help="sweep a transient per-attempt failure probability on "
         "drive 0 (comma list, e.g. 0.0,0.05,0.2); combines with the "
         "other axes",
-    )
-    sweep.add_argument(
-        "--kernel", choices=kernel_names(), default=None,
-        help="simulation kernel for every swept cell (cache keys are "
-        "kernel-independent: cached results are shared across kernels)",
     )
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = inline)")
@@ -207,7 +233,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
 
-    simulate = sub.add_parser("simulate", help="run one custom configuration")
+    simulate = sub.add_parser(
+        "simulate", parents=[common], help="run one custom configuration"
+    )
     simulate.add_argument("-k", "--runs", type=int, required=True)
     simulate.add_argument("-D", "--disks", type=int, required=True)
     simulate.add_argument(
@@ -230,16 +258,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[s.value for s in VictimSelector],
         default=VictimSelector.RANDOM.value,
     )
-    simulate.add_argument(
-        "--faults", metavar="PLAN_JSON", default=None,
-        help="fault plan JSON for this configuration (see repro.faults)",
-    )
     simulate.add_argument("--trials", type=int, default=5)
-    simulate.add_argument("--seed", type=int, default=1992)
-    simulate.add_argument(
-        "--kernel", choices=kernel_names(), default="reference",
-        help="simulation kernel ('fast' is bit-identical, just quicker)",
-    )
     simulate.add_argument(
         "--timeline",
         action="store_true",
@@ -253,7 +272,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_run = bench_sub.add_parser(
-        "run", help="benchmark scenarios and write BENCH_<scenario>.json"
+        "run", parents=[common],
+        help="benchmark scenarios and write BENCH_<scenario>.json",
     )
     bench_run.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
@@ -284,6 +304,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 0.25 = 25%% slower)",
     )
     bench_sub.add_parser("list", help="list registered bench scenarios")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="trace artifact utilities (see docs/OBSERVABILITY.md)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_validate = trace_sub.add_parser(
+        "validate",
+        help="validate a Chrome trace JSON against the checked-in schema "
+        "(docs/schemas/chrome_trace_schema.json)",
+    )
+    trace_validate.add_argument(
+        "path", help="trace file written with --trace-out"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -328,6 +361,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = args.ids
     if ids == ["all"]:
         ids = default_experiment_ids()
+    experiment_ids, scenario_ids = _partition_run_ids(ids)
     engine = None
     if args.workers is not None:
         from repro.sweep import ResultStore, SweepEngine
@@ -336,20 +370,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             store=ResultStore(args.cache_dir or "results/cache"),
             workers=args.workers,
         )
-    if args.faults is not None:
-        from repro.core.simulator import fault_plan_override
-
-        plan = _load_fault_plan(args.faults)
-        if plan is None:
-            return 2
-        print(f"fault plan {args.faults}: {plan.describe_short()}"
-              + (" (empty: baseline behaviour)" if plan.is_empty() else ""))
-        with fault_plan_override(plan):
-            results = run_experiments(
-                ids, scale, engine=engine, kernel=args.kernel
-            )
-    else:
-        results = run_experiments(ids, scale, engine=engine, kernel=args.kernel)
+    session = _trace_session(args, "run")
+    context, code = _run_context(args, session)
+    if context is None:
+        return code
+    scenario_failures = 0
+    results = []
+    with context:
+        if experiment_ids:
+            results = run_experiments(experiment_ids, scale, engine=engine)
+        for name in scenario_ids:
+            if not _replay_scenario(name, args, session):
+                scenario_failures += 1
+    _export_trace(session, args)
     if args.out:
         with open(args.out, "w") as handle:
             for result in results:
@@ -366,8 +399,86 @@ def _cmd_run(args: argparse.Namespace) -> int:
     failed = failed_experiment_ids(results)
     if failed:
         print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}")
+    if failed or scenario_failures:
         return 1
     return 0
+
+
+def _partition_run_ids(ids: list) -> tuple[list, list]:
+    """Split ``repro run`` ids into experiments and bench-scenario replays.
+
+    Anything the experiment registry knows stays an experiment; of the
+    rest, names the bench registry knows become scenario replays, and
+    unknown ids stay in the experiment list so the runner reports them
+    the same way it always has.
+    """
+    from repro.bench import SCENARIOS
+    from repro.experiments import get_experiment
+
+    experiments, scenarios = [], []
+    for experiment_id in ids:
+        try:
+            get_experiment(experiment_id)
+        except (KeyError, ValueError):
+            if experiment_id in SCENARIOS:
+                scenarios.append(experiment_id)
+                continue
+        experiments.append(experiment_id)
+    return experiments, scenarios
+
+
+def _replay_scenario(name: str, args: argparse.Namespace, session) -> bool:
+    """Run one bench scenario's pinned config outside the timing harness.
+
+    Honors the common overrides (ambient kernel/faults/trace are
+    already installed by the caller; ``--seed``/``--trials``/``--blocks``
+    rewrite the pinned config).  With tracing on, also cross-checks the
+    collected per-drive service spans against ``DriveStats.busy_ms``
+    (the obs-smoke invariant) and fails loudly on drift.
+    """
+    import dataclasses
+
+    from repro.bench import scenario_config
+
+    try:
+        config = scenario_config(name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return False
+    overrides = {}
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.blocks is not None:
+        overrides["blocks_per_run"] = args.blocks
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    first_trial = len(session.trials) if session is not None else 0
+    result = MergeSimulation(config).run()
+    low, high = result.total_time_s.confidence_interval()
+    print(f"scenario      : {name}")
+    print(f"configuration : {config.describe()}")
+    print(f"total time    : {result.total_time_s.mean:.2f} s "
+          f"(95% CI [{low:.2f}, {high:.2f}], {config.trials} trials)")
+    print(f"success ratio : {result.success_ratio.mean:.3f}")
+    if session is not None:
+        worst = 0.0
+        for index, metrics in enumerate(result.trials):
+            trial = session.trials[first_trial + index]
+            for disk, stats in enumerate(metrics.drive_stats):
+                worst = max(
+                    worst,
+                    abs(trial.service_busy_ms(disk) - stats.busy_ms),
+                )
+        if worst > 1e-6:
+            print(f"error: trace busy spans drift from DriveStats.busy_ms "
+                  f"by {worst:.3e} ms", file=sys.stderr)
+            return False
+        print("trace check   : per-drive busy spans match "
+              "DriveStats.busy_ms (<= 1e-6 ms)")
+    print()
+    return True
 
 
 def _cmd_paper_check() -> int:
@@ -582,6 +693,57 @@ def _load_fault_plan(path):
         return None
 
 
+def _trace_session(args, name: str):
+    """A fresh TraceSession when --trace/--trace-out asked for one."""
+    if not (args.trace or args.trace_out):
+        return None
+    from repro.obs import TraceSession
+
+    return TraceSession(name=name)
+
+
+def _run_context(args, session):
+    """The RunContext for one command's common flags.
+
+    Loads ``--faults`` (returning ``(None, exit_code)`` on a bad plan),
+    and composes it with ``--kernel`` and the trace session.  The
+    caller enters the returned context around its whole workload.
+    """
+    from repro.api import UNSET, RunContext
+
+    plan = UNSET
+    if args.faults is not None:
+        loaded = _load_fault_plan(args.faults)
+        if loaded is None:
+            return None, 2
+        print(f"fault plan {args.faults}: {loaded.describe_short()}"
+              + (" (empty: baseline behaviour)" if loaded.is_empty() else ""))
+        plan = loaded
+    context = RunContext(
+        fault_plan=plan,
+        kernel=args.kernel if args.kernel is not None else UNSET,
+        trace=session if session is not None else UNSET,
+    )
+    return context, 0
+
+
+def _export_trace(session, args) -> None:
+    """Write or print the collected trace per --trace/--trace-out."""
+    if session is None:
+        return
+    if args.trace_out:
+        from repro.obs import write_trace
+
+        fmt = write_trace(session, args.trace_out)
+        print(f"{fmt} trace ({session.total_events} events, "
+              f"{len(session.trials)} trial(s)) written to {args.trace_out}")
+    else:
+        from repro.obs import print_timeline
+
+        print()
+        print_timeline(session, sys.stdout)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.config import Table
     from repro.sweep import (
@@ -641,8 +803,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base=base,
         grid=grid,
         trials=args.trials,
-        base_seed=args.seed,
+        base_seed=args.seed if args.seed is not None else 1992,
     )
+
+    session = _trace_session(args, "sweep")
+    if session is not None and args.workers != 1:
+        print("error: --trace requires --workers 1 (subprocess workers "
+              "cannot stream trace events back)", file=sys.stderr)
+        return 2
+    if session is not None and not args.no_cache:
+        print("note: cached sweep cells replay stored metrics and emit "
+              "no trace events; use --no-cache for a complete trace",
+              file=sys.stderr)
 
     store = None if args.no_cache else ResultStore(args.cache_dir)
     try:
@@ -654,7 +826,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=NullProgress() if args.quiet else ConsoleProgress(),
             allow_partial=True,
         )
-        result = engine.run_spec(spec)
+        if session is not None:
+            from repro.api import configure
+
+            with configure(trace=session):
+                result = engine.run_spec(spec)
+        else:
+            result = engine.run_spec(spec)
     except ValueError as exc:
         # Bad grid values (unknown strategy, cache below minimum, ...)
         # or a campaign-name conflict: report cleanly, not a traceback.
@@ -696,6 +874,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.progress_json:
         result.stats.export_json(args.progress_json)
         print(f"progress counters written to {args.progress_json}")
+    _export_trace(session, args)
     return 1 if result.failures else 0
 
 
@@ -717,12 +896,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cache_policy=CachePolicy(args.policy),
         victim_selector=VictimSelector(args.selector),
         trials=args.trials,
-        base_seed=args.seed,
+        base_seed=args.seed if args.seed is not None else 1992,
         record_timelines=args.timeline,
         fault_plan=fault_plan,
-        kernel=args.kernel,
+        kernel=args.kernel if args.kernel is not None else "reference",
     )
-    result = MergeSimulation(config).run()
+    session = _trace_session(args, "simulate")
+    if session is not None:
+        from repro.api import configure
+
+        with configure(trace=session):
+            result = MergeSimulation(config).run()
+    else:
+        result = MergeSimulation(config).run()
     print(f"configuration : {config.describe()}")
     low, high = result.total_time_s.confidence_interval()
     print(f"total time    : {result.total_time_s.mean:.2f} s "
@@ -755,6 +941,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 cache_capacity=config.resolved_cache_capacity,
             )
         )
+    _export_trace(session, args)
     return 0
 
 
@@ -779,6 +966,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"{name:18s} [{kernels}] {scenario.description}")
         return 0
     if args.bench_command == "run":
+        import dataclasses
+
         names = args.scenario or scenario_names()
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -787,13 +976,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        for scenario in scenarios:
-            report = run_scenario(
-                scenario, repeats=args.repeats, warmup=args.warmup
-            )
-            path = report.write(out_dir / bench_filename(scenario.name))
-            print(report.render())
-            print(f"  report written to {path}\n")
+        if args.seed is not None:
+            print("note: --seed is ignored by 'bench run' (scenario seeds "
+                  "are pinned for comparability)", file=sys.stderr)
+        if args.kernel is not None:
+            # Restrict each scenario to the requested kernel variant
+            # rather than setting an ambient override, which would run
+            # every variant on one kernel but label them differently.
+            scenarios = [
+                dataclasses.replace(scenario, kernels=(args.kernel,))
+                for scenario in scenarios
+                if args.kernel in scenario.kernels
+            ]
+            if not scenarios:
+                print(f"error: none of the selected scenarios has a "
+                      f"{args.kernel!r} variant", file=sys.stderr)
+                return 2
+        plan = None
+        if args.faults is not None:
+            plan = _load_fault_plan(args.faults)
+            if plan is None:
+                return 2
+        session = _trace_session(args, "bench")
+        if plan is not None or session is not None:
+            print("note: fault injection and tracing perturb timings; do "
+                  "not compare this report against committed baselines",
+                  file=sys.stderr)
+        from repro.api import UNSET, RunContext
+
+        context = RunContext(
+            fault_plan=plan if plan is not None else UNSET,
+            trace=session if session is not None else UNSET,
+        )
+        with context:
+            for scenario in scenarios:
+                report = run_scenario(
+                    scenario, repeats=args.repeats, warmup=args.warmup
+                )
+                path = report.write(out_dir / bench_filename(scenario.name))
+                print(report.render())
+                print(f"  report written to {path}\n")
+        _export_trace(session, args)
         return 0
     if args.bench_command == "compare":
         try:
@@ -812,6 +1035,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("\nno regressions")
         return 0
     raise AssertionError(f"unhandled bench command {args.bench_command}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "validate":
+        from repro.obs import validate_chrome_trace_file
+
+        try:
+            errors = validate_chrome_trace_file(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        if errors:
+            print(f"{args.path}: {len(errors)} schema violation(s)")
+            for error in errors:
+                print(f"  {error}")
+            return 1
+        print(f"{args.path}: valid Chrome trace")
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -844,6 +1086,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Iterator, Optional
 
+from repro import api
 from repro.core.cache import BlockCache
 from repro.core.metrics import ConcurrencyTracker, MergeMetrics
 from repro.core.parameters import SimulationConfig
@@ -32,6 +33,7 @@ from repro.disks.drive import DiskDrive
 from repro.disks.layout import RunLayout
 from repro.disks.request import BlockFetchRequest, FetchKind
 from repro.faults.injector import FaultInjector
+from repro.obs.events import EventKind
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.fast import create_kernel
 from repro.sim.random_streams import RandomStreams
@@ -53,6 +55,16 @@ class MergeTrial:
         self.config = config
         self.seed = seed
         self.sim = create_kernel(config.kernel)
+        # Tracing is ambient (RunContext), never part of the config:
+        # the trace can't perturb results or sweep cache keys.  With no
+        # session installed, ``self.trace`` stays None and every hook
+        # below reduces to one guard check.
+        session = api.current_trace()
+        self.trace = (
+            session.trial(seed, config.describe())
+            if session is not None
+            else None
+        )
         self.streams = RandomStreams(seed)
         self.layout = RunLayout(
             num_runs=config.num_runs,
@@ -93,6 +105,7 @@ class MergeTrial:
                 address_of=self._address_of,
                 discipline=config.queue_discipline,
                 injector=self.injector,
+                trace=self.trace,
             )
             for disk in range(config.num_disks)
         ]
@@ -115,6 +128,7 @@ class MergeTrial:
                 geometry=config.geometry,
                 streams=self.streams,
                 buffer_blocks=config.write_buffer_blocks,
+                trace=self.trace,
             )
             if config.write_disks > 0
             else None
@@ -155,6 +169,10 @@ class MergeTrial:
         degraded = self.injector.drive_degraded(disk, self.sim.now)
         if degraded:
             self._degraded_skips += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    EventKind.DRIVE_DEGRADED, f"disk-{disk}", self.sim.now
+                )
         return degraded
 
     def _address_of(self, request: BlockFetchRequest) -> int:
@@ -212,6 +230,7 @@ class MergeTrial:
     def _merge_loop(self) -> Generator:
         config = self.config
         cache = self.cache
+        trace = self.trace
         unfinished = list(range(config.num_runs))
         pick = self._make_picker(unfinished)
 
@@ -221,13 +240,32 @@ class MergeTrial:
             self._blocks_depleted += 1
             if config.cpu_ms_per_block > 0:
                 self._cpu_busy_ms += config.cpu_ms_per_block
+                if trace is not None:
+                    trace.span(
+                        EventKind.CPU_MERGE,
+                        "cpu",
+                        self.sim.now,
+                        self.sim.now + config.cpu_ms_per_block,
+                        {"run": run},
+                    )
                 yield self.sim.timeout(config.cpu_ms_per_block)
+            elif trace is not None:
+                trace.instant(
+                    EventKind.CPU_MERGE, "cpu", self.sim.now, {"run": run}
+                )
             if self.writes is not None:
                 backpressure = self.writes.write_block()
                 if backpressure is not None:
                     stall_start = self.sim.now
                     yield backpressure
                     self._write_stall_ms += self.sim.now - stall_start
+                    if trace is not None and self.sim.now > stall_start:
+                        trace.span(
+                            EventKind.WRITE_STALL,
+                            "cpu",
+                            stall_start,
+                            self.sim.now,
+                        )
 
             state = cache.runs[run]
             if state.finished:
@@ -268,6 +306,15 @@ class MergeTrial:
             stalled = self.sim.now - stall_start
             self._cpu_stall_ms += stalled
             self._attribute_stall(run, stalled, degraded_at_start)
+            if trace is not None and stalled > 0:
+                trace.span(
+                    EventKind.DEMAND_STALL,
+                    "cpu",
+                    stall_start,
+                    self.sim.now,
+                    {"run": run},
+                )
+                trace.observe_stall(stalled)
 
         if self.writes is not None:
             drain = self.writes.drain_event()
@@ -318,6 +365,13 @@ class MergeTrial:
             if winner is wait_event:
                 return
             self._demand_timeouts += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    EventKind.DEMAND_TIMEOUT,
+                    "cpu",
+                    self.sim.now,
+                    {"timeout_ms": timeout_ms},
+                )
             for request in requests:
                 if not request.completed.triggered:
                     disk = self.layout.disk_of_run(request.run)
@@ -405,7 +459,7 @@ class MergeTrial:
         return requests
 
     def _collect_metrics(self) -> MergeMetrics:
-        return MergeMetrics(
+        metrics = MergeMetrics(
             config_description=self.config.describe(),
             seed=self.seed,
             total_time_ms=self.sim.now,
@@ -438,3 +492,6 @@ class MergeTrial:
             cache_timeline=self.cache.timeline,
             request_traces=self._request_traces,
         )
+        if self.trace is not None:
+            self.trace.finalize(metrics)
+        return metrics

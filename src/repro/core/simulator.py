@@ -13,125 +13,134 @@ Example::
     )
     result = MergeSimulation(config).run()
     print(result.total_time_s.mean, result.success_ratio.mean)
+
+Ambient run options — execution backend, fault plan, kernel choice,
+tracing — come from :mod:`repro.api`::
+
+    with repro.api.configure(kernel="fast", trace=True) as ctx:
+        result = MergeSimulation(config).run()
+
+The setters and context managers this module used to define
+(``set_simulation_backend``/``simulation_backend`` and friends) remain
+as deprecated shims that delegate to :class:`repro.api.RunContext`.
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
+import warnings
 from typing import Callable, Iterator, Optional
 
+from repro import api
 from repro.core.merge_sim import MergeTrial
 from repro.core.metrics import AggregateMetrics, MergeMetrics
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
 from repro.faults.plan import FaultPlan
 
-#: Optional alternative executor for whole configurations.  When set,
-#: :meth:`MergeSimulation.run` delegates to it — this is how the sweep
-#: engine (:mod:`repro.sweep`) transparently adds caching and a worker
-#: pool underneath existing experiment code.  Backends must preserve
-#: the serial contract: trial ``t`` seeded ``base_seed + t``, trials
-#: aggregated in order.
+#: Optional alternative executor for whole configurations.  When
+#: installed (``RunContext(backend=...)``), :meth:`MergeSimulation.run`
+#: delegates to it — this is how the sweep engine (:mod:`repro.sweep`)
+#: transparently adds caching and a worker pool underneath existing
+#: experiment code.  Backends must preserve the serial contract: trial
+#: ``t`` seeded ``base_seed + t``, trials aggregated in order.
 SimulationBackend = Callable[[SimulationConfig], AggregateMetrics]
 
-_BACKEND: Optional[SimulationBackend] = None
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/OBSERVABILITY.md "
+        "for the RunContext migration guide)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def set_simulation_backend(
     backend: Optional[SimulationBackend],
 ) -> Optional[SimulationBackend]:
-    """Install (or clear, with ``None``) the backend; returns the old one."""
-    global _BACKEND
-    previous = _BACKEND
-    _BACKEND = backend
-    return previous
+    """Deprecated shim for ``RunContext(backend=...)``.
+
+    Installs (or clears, with ``None``) the ambient backend and
+    returns the previous one.
+    """
+    _deprecated("set_simulation_backend", "repro.api.RunContext(backend=...)")
+    return api.set_option("backend", backend)
 
 
 @contextlib.contextmanager
 def simulation_backend(backend: Optional[SimulationBackend]):
-    """Scoped :func:`set_simulation_backend`."""
-    previous = set_simulation_backend(backend)
-    try:
+    """Deprecated shim: scoped backend via :class:`repro.api.RunContext`."""
+    _deprecated("simulation_backend", "repro.api.configure(backend=...)")
+    with api.RunContext(backend=backend):
         yield backend
-    finally:
-        set_simulation_backend(previous)
-
-
-#: Ambient fault plan applied to configs that do not carry one of their
-#: own (see :func:`fault_plan_override`).  This is how ``repro run
-#: --faults plan.json`` subjects the *existing* paper experiments to a
-#: fault schedule without changing any experiment definition.
-_FAULT_PLAN: Optional[FaultPlan] = None
 
 
 def set_fault_plan_override(
     plan: Optional[FaultPlan],
 ) -> Optional[FaultPlan]:
-    """Install (or clear, with ``None``) the ambient fault plan."""
-    global _FAULT_PLAN
-    previous = _FAULT_PLAN
-    _FAULT_PLAN = plan
-    return previous
+    """Deprecated shim for ``RunContext(fault_plan=...)``.
+
+    Installs (or clears, with ``None``) the ambient fault plan applied
+    to configs that do not carry one of their own.
+    """
+    _deprecated(
+        "set_fault_plan_override", "repro.api.RunContext(fault_plan=...)"
+    )
+    return api.set_option("fault_plan", plan)
 
 
 @contextlib.contextmanager
 def fault_plan_override(plan: Optional[FaultPlan]):
-    """Scoped :func:`set_fault_plan_override`.
+    """Deprecated shim: scoped fault plan via :class:`repro.api.RunContext`.
 
     Configs with an explicit ``fault_plan`` keep it; only plan-free
     configs pick up the override.
     """
-    previous = set_fault_plan_override(plan)
-    try:
+    _deprecated("fault_plan_override", "repro.api.configure(fault_plan=...)")
+    with api.RunContext(fault_plan=plan):
         yield plan
-    finally:
-        set_fault_plan_override(previous)
-
-
-#: Ambient simulation-kernel override (see :func:`kernel_override`).
-#: This is how ``repro run --kernel fast`` and the benchmark harness
-#: switch the *existing* paper experiments onto the optimized kernel
-#: without changing any experiment definition.  Safe by construction:
-#: both kernels produce bit-identical metrics.
-_KERNEL: Optional[str] = None
 
 
 def set_kernel_override(kernel: Optional[str]) -> Optional[str]:
-    """Install (or clear, with ``None``) the ambient kernel name."""
-    global _KERNEL
-    previous = _KERNEL
-    _KERNEL = kernel
-    return previous
+    """Deprecated shim for ``RunContext(kernel=...)``.
+
+    Installs (or clears, with ``None``) the ambient kernel name.  Safe
+    by construction: both kernels produce bit-identical metrics.
+    """
+    _deprecated("set_kernel_override", "repro.api.RunContext(kernel=...)")
+    return api.set_option("kernel", kernel)
 
 
 @contextlib.contextmanager
 def kernel_override(kernel: Optional[str]):
-    """Scoped :func:`set_kernel_override`.
+    """Deprecated shim: scoped kernel via :class:`repro.api.RunContext`.
 
     Every config constructed into a :class:`MergeSimulation` inside the
     scope runs on the named kernel, regardless of its own ``kernel``
     field (the override is for operators choosing *how* to execute, not
     *what* to simulate — and the kernels are result-equivalent).
     """
-    previous = set_kernel_override(kernel)
-    try:
+    _deprecated("kernel_override", "repro.api.configure(kernel=...)")
+    with api.RunContext(kernel=kernel):
         yield kernel
-    finally:
-        set_kernel_override(previous)
 
 
 class MergeSimulation:
     """Runs ``config.trials`` independent trials and aggregates them."""
 
     def __init__(self, config: SimulationConfig) -> None:
-        if _FAULT_PLAN is not None and config.fault_plan is None:
-            config = dataclasses.replace(config, fault_plan=_FAULT_PLAN)
-        if _KERNEL is not None and config.kernel != _KERNEL:
-            config = dataclasses.replace(config, kernel=_KERNEL)
+        ambient_plan = api.current_fault_plan()
+        if ambient_plan is not None and config.fault_plan is None:
+            config = dataclasses.replace(config, fault_plan=ambient_plan)
+        ambient_kernel = api.current_kernel()
+        if ambient_kernel is not None and config.kernel != ambient_kernel:
+            config = dataclasses.replace(config, kernel=ambient_kernel)
         self.config = config
 
     def run_trial(
         self,
+        *,
         trial: int = 0,
         depletion_source: Optional[Iterator[int]] = None,
     ) -> MergeMetrics:
@@ -145,13 +154,16 @@ class MergeSimulation:
     def run(self) -> AggregateMetrics:
         """Run all trials and return aggregated metrics.
 
-        Delegates to the installed simulation backend, if any (see
-        :func:`simulation_backend`); the serial in-process loop is the
-        default.
+        Delegates to the ambient simulation backend, if any (see
+        ``repro.api.RunContext(backend=...)``); the serial in-process
+        loop is the default.
         """
-        if _BACKEND is not None:
-            return _BACKEND(self.config)
-        trials = [self.run_trial(t) for t in range(self.config.trials)]
+        backend = api.current_backend()
+        if backend is not None:
+            return backend(self.config)
+        trials = [
+            self.run_trial(trial=t) for t in range(self.config.trials)
+        ]
         return AggregateMetrics(
             config_description=self.config.describe(),
             trials=trials,
@@ -161,14 +173,19 @@ class MergeSimulation:
 def simulate_merge(
     num_runs: int,
     num_disks: int,
+    *,
     strategy: PrefetchStrategy = PrefetchStrategy.NONE,
     prefetch_depth: int = 1,
     **kwargs,
 ) -> AggregateMetrics:
-    """Convenience wrapper: build a config and run it.
+    """Thin convenience wrapper over :class:`MergeSimulation`.
 
-    Extra keyword arguments are forwarded to
-    :class:`~repro.core.parameters.SimulationConfig`.
+    Exactly equivalent to building a
+    :class:`~repro.core.parameters.SimulationConfig` from the arguments
+    (extra keywords are forwarded verbatim) and calling
+    ``MergeSimulation(config).run()`` — same ambient options, same
+    backend routing, same aggregation.  Use the class when you need to
+    keep the config around or run individual trials.
     """
     config = SimulationConfig(
         num_runs=num_runs,

@@ -30,6 +30,7 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import DiskParameters
+    from repro.obs.collector import TrialTrace
     from repro.sim.kernel import Simulator
     from repro.sim.random_streams import RandomStreams
 
@@ -54,6 +55,7 @@ class WriteSubsystem:
         geometry: DiskGeometry,
         streams: "RandomStreams",
         buffer_blocks: int = 2,
+        trace: Optional["TrialTrace"] = None,
     ) -> None:
         if num_disks < 1:
             raise ValueError("need at least one write disk")
@@ -78,6 +80,8 @@ class WriteSubsystem:
                 # skip positioning, as a log-structured writer would.
                 stream_across_requests=True,
                 address_of=self._address_of,
+                trace=trace,
+                track=f"write-{disk}",
             )
             for disk in range(num_disks)
         ]

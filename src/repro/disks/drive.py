@@ -28,11 +28,13 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.disks.geometry import DiskGeometry
 from repro.disks.request import BlockFetchRequest, FetchKind
+from repro.obs.events import EventKind
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import DiskParameters
     from repro.faults.injector import FaultInjector
+    from repro.obs.collector import TrialTrace
     from repro.sim.kernel import Simulator
 
 BusyCallback = Callable[[int, bool], None]
@@ -131,12 +133,16 @@ class DiskDrive:
         address_of: Optional[Callable[[BlockFetchRequest], int]] = None,
         discipline: QueueDiscipline = QueueDiscipline.FIFO,
         injector: Optional["FaultInjector"] = None,
+        trace: Optional["TrialTrace"] = None,
+        track: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.drive_id = drive_id
         self.geometry = geometry
         self.parameters = parameters
         self.rng = rng
+        self.trace = trace
+        self.track = track if track is not None else f"disk-{drive_id}"
         self.stats = DriveStats()
         self.stream_across_requests = stream_across_requests
         self.discipline = discipline
@@ -169,6 +175,8 @@ class DiskDrive:
         self.stats.max_queue_length = max(
             self.stats.max_queue_length, len(self._pending)
         )
+        if self.trace is not None:
+            self.trace.observe_queue_depth(self.track, len(self._pending))
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request
@@ -237,6 +245,7 @@ class DiskDrive:
         params = self.parameters
         injector = self.injector
         stats = self.stats
+        trace = self.trace
         start = sim.now
         request.start_service_time = start
         stats.queue_wait_ms += start - request.issue_time
@@ -279,6 +288,22 @@ class DiskDrive:
             rotation_cost = rotation_ms * factor
             positioning = seek_cost + rotation_cost
             if positioning > 0:
+                if trace is not None:
+                    position_start = sim.now
+                    if seek_cost > 0:
+                        trace.span(
+                            EventKind.SEEK,
+                            self.track,
+                            position_start,
+                            position_start + seek_cost,
+                        )
+                    if rotation_cost > 0:
+                        trace.span(
+                            EventKind.ROTATION,
+                            self.track,
+                            position_start + seek_cost,
+                            position_start + positioning,
+                        )
                 yield sim.timeout(positioning)
             stats.seek_ms += seek_cost
             stats.rotation_ms += rotation_cost
@@ -290,10 +315,19 @@ class DiskDrive:
                 else False
             )
             if not failed:
+                transfer_start = sim.now if trace is not None else 0.0
                 for offset, block_event in enumerate(request.block_events):
                     yield sim.timeout(transfer_cost)
                     block_event.succeed(
                         (request.run, request.first_block + offset)
+                    )
+                if trace is not None:
+                    trace.span(
+                        EventKind.TRANSFER,
+                        self.track,
+                        transfer_start,
+                        sim.now,
+                        {"blocks": request.count},
                     )
                 stats.transfer_ms += request.count * transfer_cost
                 stats.fault_ms += (factor - 1.0) * (
@@ -312,7 +346,19 @@ class DiskDrive:
             # and discarded, then the drive backs off and retries (the
             # head ends past the target, so the retry reseeks from
             # there and pays a fresh rotational latency).
+            failed_start = sim.now if trace is not None else 0.0
             yield sim.timeout(request.count * transfer_cost)
+            if trace is not None:
+                trace.span(
+                    EventKind.TRANSFER,
+                    self.track,
+                    failed_start,
+                    sim.now,
+                    {"blocks": request.count, "failed": True},
+                )
+                trace.instant(
+                    EventKind.FAULT, self.track, sim.now, {"attempt": attempt}
+                )
             stats.transfer_ms += request.count * transfer_cost
             stats.faults += 1
             stats.fault_ms += positioning + request.count * transfer_cost
@@ -325,6 +371,14 @@ class DiskDrive:
             stats.retry_backoff_ms += delay
             stats.fault_ms += delay
             if delay > 0:
+                if trace is not None:
+                    trace.span(
+                        EventKind.RETRY_BACKOFF,
+                        self.track,
+                        sim.now,
+                        sim.now + delay,
+                        {"attempt": attempt},
+                    )
                 yield sim.timeout(delay)
 
         finish = sim.now
@@ -341,6 +395,32 @@ class DiskDrive:
         else:
             stats.prefetch_requests += 1
         stats.busy_ms += finish - start
+        if trace is not None:
+            kind = (
+                EventKind.DEMAND_FETCH
+                if request.kind is FetchKind.DEMAND
+                else EventKind.PREFETCH
+            )
+            # One span per whole request service, start to completion
+            # (retries and backoff included): service on a drive is
+            # sequential, so per-track sums of these spans equal
+            # ``stats.busy_ms`` exactly.
+            trace.span(
+                kind,
+                self.track,
+                start,
+                finish,
+                {
+                    "run": request.run,
+                    "first_block": request.first_block,
+                    "blocks": request.count,
+                    "attempts": attempt,
+                },
+            )
+            trace.observe_service(
+                self.track, kind.value, finish - start,
+                start - request.issue_time,
+            )
 
     def _wait_out_outage(self, request: BlockFetchRequest) -> Generator:
         """Sleep through any outage covering the current time."""
@@ -360,6 +440,10 @@ class DiskDrive:
             wait = until - self.sim.now
             self.stats.outage_wait_ms += wait
             self.stats.fault_ms += wait
+            if self.trace is not None:
+                self.trace.span(
+                    EventKind.OUTAGE_WAIT, self.track, self.sim.now, until
+                )
             yield self.sim.timeout(wait)
             until = injector.outage_until(self.drive_id, self.sim.now)
 

@@ -5,7 +5,7 @@ reported (with the experiment id), an :class:`ExperimentResult` carrying
 ``error`` joins the returned list, and the remaining experiments still
 run.  Passing a :class:`~repro.sweep.engine.SweepEngine` routes every
 simulation the experiments perform through the engine's result cache
-and worker pool (see :func:`repro.core.simulator.simulation_backend`).
+and worker pool (see :class:`repro.api.RunContext`).
 """
 
 from __future__ import annotations
@@ -41,17 +41,17 @@ def run_experiments(
     remaining ones.  With ``engine``, all simulations fan out through
     the sweep engine's cache and worker pool.  With ``kernel``, every
     simulation runs on the named kernel (see
-    :func:`repro.core.simulator.kernel_override`) — results are
+    :class:`repro.api.RunContext`) — results are
     identical either way; only wall-clock time changes.
     """
-    from repro.core.simulator import kernel_override
+    from repro.api import configure
 
     out = stream or sys.stdout
     scale = scale or Scale.full()
     results = []
     backend = engine.backend() if engine is not None else contextlib.nullcontext()
     override = (
-        kernel_override(kernel) if kernel is not None else contextlib.nullcontext()
+        configure(kernel=kernel) if kernel is not None else contextlib.nullcontext()
     )
     with backend, override:
         for experiment_id in experiment_ids:

@@ -16,10 +16,14 @@ RPR005    iterating a set in event-ordering code is replay-hazardous
 RPR006    bare / swallowed / unjustified-broad exception handlers
 RPR007    mutable default arguments
 RPR008    ``print()`` without an explicit stream outside the CLI
+RPR009    deprecated override shims (``kernel_override`` & co.)
+          used outside their shim module — use
+          ``repro.api.RunContext``/``configure`` in-repo
 ========  ==============================================================
 """
 
 from repro.lint.checkers import (  # noqa: F401  (register rules on import)
+    deprecated,
     determinism,
     hygiene,
     schema,

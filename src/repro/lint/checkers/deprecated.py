@@ -1,0 +1,86 @@
+"""RPR009: the pre-RunContext override setters are shims, not API.
+
+``repro.core.simulator`` keeps six deprecated names alive for external
+callers — ``set_simulation_backend``/``simulation_backend``,
+``set_fault_plan_override``/``fault_plan_override``, and
+``set_kernel_override``/``kernel_override`` — each a thin delegating
+wrapper that warns and forwards to :mod:`repro.api`.  In-repo code must
+use :class:`repro.api.RunContext` / :func:`repro.api.configure`
+directly: a shim call inside the repo hides the deprecation warning
+behind our own stack frames and keeps dead API load-bearing forever.
+
+Flagged outside the configured shim module(s):
+
+* ``from repro.core.simulator import <deprecated name>`` (any alias);
+* attribute calls spelling a deprecated name, e.g.
+  ``simulator.kernel_override(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import (
+    ModuleInfo,
+    get_rule,
+    make_finding,
+    path_matches,
+    register,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.config import LintConfig
+
+RULE_ID = "RPR009"
+
+#: The six shim names and the RunContext spelling that replaces each.
+DEPRECATED_OVERRIDES: dict[str, str] = {
+    "set_simulation_backend": "configure(backend=...)",
+    "simulation_backend": "configure(backend=...)",
+    "set_fault_plan_override": "configure(fault_plan=...)",
+    "fault_plan_override": "configure(fault_plan=...)",
+    "set_kernel_override": "configure(kernel=...)",
+    "kernel_override": "configure(kernel=...)",
+}
+
+
+def _message(name: str) -> str:
+    return (
+        f"deprecated override shim {name}() must not be used inside the "
+        f"repo; use repro.api.{DEPRECATED_OVERRIDES[name]} instead"
+    )
+
+
+@register(
+    RULE_ID,
+    name="deprecated-overrides",
+    severity=Severity.ERROR,
+    rationale=(
+        "The legacy per-option override setters survive only as "
+        "deprecated shims for external callers; in-repo use would keep "
+        "them load-bearing and silence their DeprecationWarning behind "
+        "our own frames."
+    ),
+)
+def check_deprecated_overrides(
+    module: ModuleInfo, config: "LintConfig"
+) -> Iterator[Finding]:
+    if path_matches(module.package_path, config.override_shim_allowed):
+        return
+    rule = get_rule(RULE_ID)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module != "repro.core.simulator":
+                continue
+            for alias in node.names:
+                if alias.name in DEPRECATED_OVERRIDES:
+                    yield make_finding(
+                        rule, module.relpath, node, _message(alias.name)
+                    )
+        elif isinstance(node, ast.Attribute):
+            if node.attr in DEPRECATED_OVERRIDES:
+                yield make_finding(
+                    rule, module.relpath, node, _message(node.attr)
+                )

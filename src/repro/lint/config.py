@@ -41,7 +41,7 @@ class LintConfig:
     #: Simulation modules: no wall clocks, OS entropy, or global RNG.
     determinism_modules: list[str] = field(default_factory=lambda: [
         "repro/sim", "repro/core", "repro/disks", "repro/faults",
-        "repro/workloads",
+        "repro/workloads", "repro/obs",
     ])
     #: The blessed randomness module itself (and any other exemptions).
     determinism_exempt: list[str] = field(default_factory=lambda: [
@@ -66,13 +66,20 @@ class LintConfig:
     #: Event-ordering code paths: iterating a set there is a replay hazard.
     ordering_modules: list[str] = field(default_factory=lambda: [
         "repro/sim", "repro/core", "repro/disks", "repro/faults",
-        "repro/workloads",
+        "repro/workloads", "repro/obs",
     ])
 
     # -- RPR006 exception discipline -----------------------------------------
     #: Worker/retry code where a broad ``except`` needs a baseline entry.
     broad_except_modules: list[str] = field(default_factory=lambda: [
         "repro/sweep", "repro/experiments/runner.py", "repro/faults",
+    ])
+
+    # -- RPR009 deprecated override shims ------------------------------------
+    #: The module(s) allowed to reference the legacy override setters
+    #: (the shims' own definitions live here).
+    override_shim_allowed: list[str] = field(default_factory=lambda: [
+        "repro/core/simulator.py",
     ])
 
     # -- RPR008 stdout discipline --------------------------------------------

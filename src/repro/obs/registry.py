@@ -1,0 +1,234 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Where the trace collector records *what happened when*, the registry
+records *how much*: monotonically increasing counters, last-value
+gauges, and fixed-bucket histograms, each identified by a name plus
+sorted ``key=value`` labels (``queue_depth{disk=0}``).
+
+Two populations feed a traced trial's registry:
+
+* **live** instruments updated from the same guard-checked hooks that
+  emit trace events (queue depth at submission, per-request service
+  times, stall durations), and
+* an **end-of-trial snapshot** of the scalar counters the simulation
+  already aggregates into :class:`~repro.core.metrics.MergeMetrics`
+  (per-drive utilization, stall time, cache occupancy).
+
+The snapshot direction is deliberate: ``MergeMetrics`` stays the
+canonical result object -- byte-identical with tracing on or off --
+and the registry mirrors it for export, never the other way around.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+#: Default histogram bucket upper bounds (ms for durations; the last
+#: implicit bucket is +inf).
+DEFAULT_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+def _instrument_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str, value: float = 0.0) -> None:
+        self.key = key
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value measurement."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str, value: float = 0.0) -> None:
+        self.key = key
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per upper bound, plus sum."""
+
+    __slots__ = ("key", "bounds", "counts", "count", "total")
+
+    def __init__(
+        self,
+        key: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS_MS,
+        counts: Optional[list[int]] = None,
+        count: int = 0,
+        total: float = 0.0,
+    ) -> None:
+        self.key = key
+        self.bounds = tuple(bounds)
+        # One slot per bound plus the overflow (+inf) bucket.
+        self.counts = (
+            list(counts) if counts is not None else [0] * (len(self.bounds) + 1)
+        )
+        self.count = count
+        self.total = total
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments, deterministic to export.
+
+    Instruments are stored in creation order; :meth:`to_dict` sorts by
+    key so snapshots diff cleanly regardless of code path order.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = _instrument_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(key)
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _instrument_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(key)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS_MS,
+        **labels,
+    ) -> Histogram:
+        key = _instrument_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(key, bounds)
+        return instrument
+
+    def instruments(self) -> Iterable[Instrument]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    # -- end-of-trial snapshot -----------------------------------------
+    def snapshot_metrics(self, metrics) -> None:
+        """Mirror one trial's :class:`MergeMetrics` into instruments.
+
+        Counters/gauges named here are the registry view of the same
+        quantities the metrics object reports; the trial's live
+        histograms (service times, queue depth) are left untouched.
+        """
+        elapsed = metrics.total_time_ms
+        self.counter("blocks_depleted").inc(metrics.blocks_depleted)
+        self.counter("blocks_fetched").inc(metrics.blocks_fetched)
+        self.counter("fetch_requests").inc(metrics.fetch_requests)
+        self.counter("demand_situations").inc(metrics.demand_situations)
+        self.counter("demand_timeouts").inc(metrics.demand_timeouts)
+        self.counter("degraded_skips").inc(metrics.degraded_skips)
+        self.counter("stall_ms", kind="cpu").inc(metrics.cpu_stall_ms)
+        self.counter("stall_ms", kind="write").inc(metrics.write_stall_ms)
+        self.counter("stall_ms", kind="fault").inc(metrics.fault_stall_ms)
+        self.gauge("total_time_ms").set(elapsed)
+        self.gauge("cache_occupancy", stat="mean").set(
+            metrics.cache_mean_occupancy
+        )
+        self.gauge("cache_occupancy", stat="peak").set(
+            float(metrics.cache_peak_occupancy)
+        )
+        self.gauge("cache_free", stat="min").set(float(metrics.cache_min_free))
+        self.gauge("disk_concurrency", stat="mean").set(
+            metrics.average_concurrency
+        )
+        self.gauge("disk_concurrency", stat="peak").set(
+            float(metrics.peak_concurrency)
+        )
+        for disk, stats in enumerate(metrics.drive_stats):
+            self.counter("drive_busy_ms", disk=disk).inc(stats.busy_ms)
+            self.counter("drive_requests", disk=disk).inc(stats.requests)
+            self.counter("drive_faults", disk=disk).inc(stats.faults)
+            self.counter("drive_retries", disk=disk).inc(stats.retries)
+            self.gauge("drive_utilization", disk=disk).set(
+                stats.busy_ms / elapsed if elapsed > 0 else 0.0
+            )
+            self.gauge("drive_max_queue", disk=disk).set(
+                float(stats.max_queue_length)
+            )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able snapshot, keys sorted (see :meth:`from_dict`)."""
+        return {
+            "counters": {
+                key: self._counters[key].value
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key].value for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for key, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict`."""
+        registry = cls()
+        for key, value in data.get("counters", {}).items():
+            registry._counters[key] = Counter(key, value)
+        for key, value in data.get("gauges", {}).items():
+            registry._gauges[key] = Gauge(key, value)
+        for key, payload in data.get("histograms", {}).items():
+            registry._histograms[key] = Histogram(
+                key,
+                bounds=payload["bounds"],
+                counts=payload["counts"],
+                count=payload["count"],
+                total=payload["total"],
+            )
+        return registry

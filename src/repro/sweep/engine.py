@@ -191,9 +191,9 @@ class SweepEngine:
             with engine.backend():
                 run_experiments(["fig-3.2a"], scale)
         """
-        from repro.core.simulator import simulation_backend
+        from repro.api import RunContext
 
-        return simulation_backend(self.run_config)
+        return RunContext(backend=self.run_config)
 
     # -- internals ----------------------------------------------------------
 

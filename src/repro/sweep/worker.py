@@ -57,7 +57,7 @@ def execute_job(payload: dict) -> dict:
         # callbacks, C extensions), which would silently drop the guard.
         signal.setitimer(signal.ITIMER_REAL, timeout_s, timeout_s)
     try:
-        metrics = MergeSimulation(config).run_trial(trial)
+        metrics = MergeSimulation(config).run_trial(trial=trial)
     finally:
         if enforce:
             signal.setitimer(signal.ITIMER_REAL, 0.0)

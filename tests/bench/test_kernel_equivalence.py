@@ -10,8 +10,9 @@ import dataclasses
 
 import pytest
 
+from repro.api import configure
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
-from repro.core.simulator import MergeSimulation, kernel_override
+from repro.core.simulator import MergeSimulation
 from repro.disks.drive import QueueDiscipline
 from repro.faults.plan import fail_slow_plan, transient_plan
 from repro.sim import FastSimulator, Simulator, create_kernel, kernel_names
@@ -19,7 +20,7 @@ from repro.sim import FastSimulator, Simulator, create_kernel, kernel_names
 
 def _trial_dict(config: SimulationConfig, kernel: str, trial: int = 0) -> dict:
     config = dataclasses.replace(config, kernel=kernel)
-    return MergeSimulation(config).run_trial(trial).to_dict()
+    return MergeSimulation(config).run_trial(trial=trial).to_dict()
 
 
 #: A deliberately diverse configuration matrix: every strategy family,
@@ -117,15 +118,15 @@ def test_kernel_registry():
     assert type(create_kernel("reference")) is Simulator
 
 
-def test_kernel_override_rewrites_config():
+def test_kernel_context_rewrites_config():
     config = SimulationConfig(num_runs=4, num_disks=1, blocks_per_run=20)
     assert MergeSimulation(config).config.kernel == "reference"
-    with kernel_override("fast"):
+    with configure(kernel="fast"):
         assert MergeSimulation(config).config.kernel == "fast"
     assert MergeSimulation(config).config.kernel == "reference"
 
 
-def test_kernel_override_preserves_results():
+def test_kernel_context_preserves_results():
     config = SimulationConfig(
         num_runs=6,
         num_disks=2,
@@ -135,7 +136,7 @@ def test_kernel_override_preserves_results():
         trials=2,
     )
     baseline = MergeSimulation(config).run()
-    with kernel_override("fast"):
+    with configure(kernel="fast"):
         overridden = MergeSimulation(config).run()
     assert [t.to_dict() for t in overridden.trials] == [
         t.to_dict() for t in baseline.trials

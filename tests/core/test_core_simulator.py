@@ -40,7 +40,8 @@ def test_base_seed_changes_results():
 
 def test_simulate_merge_convenience():
     result = simulate_merge(
-        4, 2, PrefetchStrategy.INTRA_RUN, 3, blocks_per_run=30, trials=2
+        4, 2, strategy=PrefetchStrategy.INTRA_RUN, prefetch_depth=3,
+        blocks_per_run=30, trials=2,
     )
     assert result.total_time_s.count == 2
 

@@ -158,3 +158,76 @@ def test_run_with_workers_uses_sweep_engine(tmp_path, capsys):
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_simulate_trace_prints_timeline(capsys):
+    code = main([
+        "simulate", "-k", "4", "-D", "2", "--strategy", "intra-run",
+        "-N", "2", "--blocks", "20", "--trials", "1", "--trace",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+    assert "disk-0" in out
+
+
+def test_simulate_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "simulate", "-k", "4", "-D", "2", "--strategy", "intra-run",
+        "-N", "2", "--blocks", "20", "--trials", "1",
+        "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    assert "chrome trace" in capsys.readouterr().out
+    assert main(["trace", "validate", str(trace_path)]) == 0
+    assert "valid Chrome trace" in capsys.readouterr().out
+
+
+def test_trace_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+    assert main(["trace", "validate", str(bad)]) == 1
+    assert "schema violation" in capsys.readouterr().out
+
+
+def test_run_replays_bench_scenario_with_trace(tmp_path, capsys):
+    trace_path = tmp_path / "smoke.json"
+    code = main(["run", "smoke-d2", "--trace-out", str(trace_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario      : smoke-d2" in out
+    assert "trace check" in out
+    assert trace_path.exists()
+
+
+def test_run_rejects_composite_scenario(capsys):
+    assert main(["run", "sweep-small"]) == 1
+    err = capsys.readouterr().err
+    assert "cannot be replayed" in err
+
+
+def test_sweep_trace_requires_single_worker(capsys):
+    code = main([
+        "sweep", "-k", "3", "-D", "1", "--blocks", "20", "--trials", "1",
+        "--no-cache", "--quiet", "--workers", "2", "--trace",
+    ])
+    assert code == 2
+    assert "--workers 1" in capsys.readouterr().err
+
+
+def test_kernel_flag_is_uniform_across_commands():
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    for command in (
+        ["run", "tab-seek", "--kernel", "fast"],
+        ["simulate", "-k", "4", "-D", "2", "--kernel", "fast"],
+        ["sweep", "-k", "4", "-D", "2", "--kernel", "fast"],
+        ["bench", "run", "--kernel", "fast"],
+    ):
+        args = parser.parse_args(command)
+        assert args.kernel == "fast"
+        assert hasattr(args, "trace")
+        assert hasattr(args, "faults")
+        assert hasattr(args, "seed")

@@ -2,12 +2,10 @@
 
 import pytest
 
+from repro import api
+from repro.api import configure
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
-from repro.core.simulator import (
-    MergeSimulation,
-    fault_plan_override,
-    set_fault_plan_override,
-)
+from repro.core.simulator import MergeSimulation
 from repro.faults.injector import DriveOfflineError, FaultExhaustedError
 from repro.faults.plan import (
     FaultPlan,
@@ -112,10 +110,10 @@ def test_degraded_drive_skipped_by_inter_run_planner():
     assert metrics.drive_stats[1].requests > 0
 
 
-def test_fault_plan_override_context():
+def test_ambient_fault_plan_context():
     config = _config(trials=1)
     baseline = MergeSimulation(config).run()
-    with fault_plan_override(fail_slow_plan(drive=0, factor=6.0)):
+    with configure(fault_plan=fail_slow_plan(drive=0, factor=6.0)):
         slowed = MergeSimulation(config).run()
         # Explicit plans win over the ambient override.
         pinned = MergeSimulation(
@@ -125,7 +123,7 @@ def test_fault_plan_override_context():
     assert slowed.total_time_s.mean > baseline.total_time_s.mean
     assert pinned.to_dict() == baseline.to_dict()
     assert after.to_dict() == baseline.to_dict()
-    assert set_fault_plan_override(None) is None  # context restored
+    assert api.current_fault_plan() is None  # context restored
 
 
 def test_intra_run_unaffected_by_degraded_mode_bookkeeping():

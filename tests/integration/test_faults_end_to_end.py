@@ -15,7 +15,8 @@ import pytest
 
 from repro.cli import main
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
-from repro.core.simulator import MergeSimulation, fault_plan_override
+from repro.api import configure
+from repro.core.simulator import MergeSimulation
 from repro.faults.plan import load_plan
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "fault_plans"
@@ -127,7 +128,7 @@ def test_override_applies_to_experiment_configs():
     scale = Scale(trials=1, blocks_per_run=30, sweep_density=0.2)
     experiment = get_experiment("ext-adaptive-depth")
     plain = experiment.run(scale)
-    with fault_plan_override(load_plan(EXAMPLES / "one-slow-disk.json")):
+    with configure(fault_plan=load_plan(EXAMPLES / "one-slow-disk.json")):
         faulted = experiment.run(scale)
     assert plain.ok and faulted.ok
     assert plain.render() != faulted.render()

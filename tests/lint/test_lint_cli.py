@@ -65,7 +65,7 @@ def test_json_format_is_the_machine_readable_contract(capsys):
     assert payload["stale_baseline_entries"] == []
     assert payload["baseline"] == "lint-baseline.json"
     assert payload["stats"]["files_scanned"] > 20
-    assert payload["stats"]["rules_run"] == 8
+    assert payload["stats"]["rules_run"] == 9
 
 
 def test_no_baseline_exposes_exactly_the_grandfathered_findings(capsys):

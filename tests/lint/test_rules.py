@@ -35,6 +35,8 @@ GOLDEN_CASES = [
      "src/repro/mergesort/lint_fixture.py", Severity.ERROR),
     ("RPR008", "rpr008_print.py",
      "src/repro/analysis/lint_fixture.py", Severity.WARNING),
+    ("RPR009", "rpr009_overrides.py",
+     "src/repro/experiments/lint_fixture.py", Severity.ERROR),
 ]
 
 
@@ -67,6 +69,7 @@ OUT_OF_SCOPE_CASES = [
     ("RPR002", "rpr002_slots.py", "src/repro/sim/engine.py"),
     ("RPR005", "rpr005_ordering.py", "src/repro/sweep/lint_fixture.py"),
     ("RPR008", "rpr008_print.py", "src/repro/cli.py"),
+    ("RPR009", "rpr009_overrides.py", "src/repro/core/simulator.py"),
 ]
 
 
@@ -90,10 +93,10 @@ def test_broad_except_needs_retry_scope_but_bare_except_does_not():
     assert not any("worker/retry" in message for message in messages)
 
 
-def test_registry_covers_all_eight_rules_with_stable_ids():
+def test_registry_covers_all_nine_rules_with_stable_ids():
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == [
-        f"RPR00{index}" for index in range(1, 9)
+        f"RPR00{index}" for index in range(1, 10)
     ]
     assert all(rule.rationale for rule in rules)
     assert {rule.scope for rule in rules} == {"file", "project"}

@@ -1,0 +1,85 @@
+"""TrialTrace / TraceSession collection semantics."""
+
+import pytest
+
+from repro.obs import EventKind, TraceSession
+
+
+def _trial(session=None):
+    session = session or TraceSession(name="test")
+    return session.trial(seed=42, config_description="k=2 D=1")
+
+
+def test_trial_indices_increment():
+    session = TraceSession(name="s")
+    first = session.trial(seed=1)
+    second = session.trial(seed=2)
+    assert (first.trial_index, second.trial_index) == (0, 1)
+    assert session.trials == [first, second]
+
+
+def test_span_and_instant_recorded_in_order():
+    trial = _trial()
+    trial.span(EventKind.SEEK, "disk-0", 0.0, 1.5)
+    trial.instant(EventKind.FAULT, "disk-0", 2.0, args={"attempt": 1})
+    kinds = [event.kind for event in trial.events]
+    assert kinds == [EventKind.SEEK, EventKind.FAULT]
+    assert trial.events[0].duration_ms == pytest.approx(1.5)
+    assert trial.events[1].args == {"attempt": 1}
+
+
+def test_span_duration_is_end_minus_start():
+    trial = _trial()
+    trial.span(EventKind.TRANSFER, "disk-0", 10.0, 12.5)
+    assert trial.events[0].duration_ms == pytest.approx(2.5)
+
+
+def test_service_busy_ms_sums_only_service_spans_on_that_disk():
+    trial = _trial()
+    trial.span(EventKind.DEMAND_FETCH, "disk-0", 0.0, 4.0)
+    trial.span(EventKind.PREFETCH, "disk-0", 5.0, 7.0)
+    trial.span(EventKind.SEEK, "disk-0", 0.0, 1.0)  # mechanics: excluded
+    trial.span(EventKind.DEMAND_FETCH, "disk-1", 0.0, 9.0)  # other disk
+    trial.span(EventKind.PREFETCH, "write-0", 0.0, 3.0)  # write track
+    assert trial.service_busy_ms(0) == pytest.approx(6.0)
+    assert trial.service_busy_ms(1) == pytest.approx(9.0)
+
+
+def test_events_of_filters_by_kind():
+    trial = _trial()
+    trial.instant(EventKind.FAULT, "disk-0", 1.0)
+    trial.span(EventKind.SEEK, "disk-0", 0.0, 1.0)
+    trial.instant(EventKind.FAULT, "disk-1", 2.0)
+    assert len(trial.events_of(EventKind.FAULT)) == 2
+
+
+def test_observations_feed_registry_histograms():
+    trial = _trial()
+    trial.observe_queue_depth("disk-0", 3)
+    trial.observe_service("disk-0", "demand-fetch", 12.0, 1.5)
+    trial.observe_stall(4.0)
+    keys = {instrument.key for instrument in trial.registry.instruments()}
+    assert "queue_depth{track=disk-0}" in keys
+    assert "service_ms{kind=demand-fetch,track=disk-0}" in keys
+    assert "queue_wait_ms{track=disk-0}" in keys
+    assert "demand_stall_ms" in keys
+
+
+def test_session_round_trip():
+    session = TraceSession(name="round")
+    trial = session.trial(seed=7, config_description="cfg")
+    trial.span(EventKind.DEMAND_FETCH, "disk-0", 0.0, 2.0, args={"run": 1})
+    trial.instant(EventKind.DRIVE_DEGRADED, "disk-0", 3.0)
+    trial.observe_queue_depth("disk-0", 1)
+    restored = TraceSession.from_dict(session.to_dict())
+    assert restored.name == "round"
+    assert restored.to_dict() == session.to_dict()
+    assert restored.trials[0].events == trial.events
+    assert restored.total_events == session.total_events
+
+
+def test_total_events_spans_trials():
+    session = TraceSession(name="s")
+    session.trial(seed=1).span(EventKind.SEEK, "disk-0", 0.0, 1.0)
+    session.trial(seed=2).instant(EventKind.FAULT, "disk-0", 1.0)
+    assert session.total_events == 2

@@ -1,0 +1,63 @@
+"""TraceEvent and EventKind basics."""
+
+import pytest
+
+from repro.obs import EventKind, TraceEvent, track_sort_key
+from repro.obs.events import SERVICE_KINDS
+
+
+def test_event_kind_values_are_stable_wire_names():
+    assert EventKind.DEMAND_FETCH.value == "demand-fetch"
+    assert EventKind.PREFETCH.value == "prefetch"
+    assert EventKind.DRIVE_DEGRADED.value == "drive-degraded"
+    assert EventKind.DEMAND_TIMEOUT.value == "demand-timeout"
+
+
+def test_service_kinds_cover_both_fetch_flavours():
+    assert EventKind.DEMAND_FETCH in SERVICE_KINDS
+    assert EventKind.PREFETCH in SERVICE_KINDS
+    assert EventKind.SEEK not in SERVICE_KINDS
+
+
+def test_span_properties():
+    span = TraceEvent(EventKind.TRANSFER, "disk-0", 10.0, duration_ms=2.5)
+    assert span.is_span
+    assert span.end_ms == pytest.approx(12.5)
+
+
+def test_instant_properties():
+    instant = TraceEvent(EventKind.FAULT, "disk-1", 5.0)
+    assert not instant.is_span
+    assert instant.end_ms == pytest.approx(5.0)
+
+
+def test_round_trip_omits_none_fields():
+    instant = TraceEvent(EventKind.FAULT, "disk-1", 5.0)
+    data = instant.to_dict()
+    assert "duration_ms" not in data
+    assert "args" not in data
+    assert TraceEvent.from_dict(data) == instant
+
+
+def test_round_trip_preserves_args():
+    span = TraceEvent(
+        EventKind.DEMAND_FETCH, "disk-2", 1.0, duration_ms=3.0,
+        args={"run": 4, "blocks": 2},
+    )
+    assert TraceEvent.from_dict(span.to_dict()) == span
+
+
+def test_equality_distinguishes_kind_and_track():
+    a = TraceEvent(EventKind.SEEK, "disk-0", 0.0, duration_ms=1.0)
+    b = TraceEvent(EventKind.SEEK, "disk-1", 0.0, duration_ms=1.0)
+    c = TraceEvent(EventKind.ROTATION, "disk-0", 0.0, duration_ms=1.0)
+    assert a != b
+    assert a != c
+    assert a == TraceEvent(EventKind.SEEK, "disk-0", 0.0, duration_ms=1.0)
+
+
+def test_track_sort_key_orders_cpu_disks_writes():
+    tracks = ["write-0", "disk-10", "disk-2", "cpu", "other"]
+    assert sorted(tracks, key=track_sort_key) == [
+        "cpu", "disk-2", "disk-10", "write-0", "other"
+    ]

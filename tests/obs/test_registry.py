@@ -1,0 +1,89 @@
+"""MetricsRegistry: counters, gauges, histograms, and the trial snapshot."""
+
+import pytest
+
+from repro.core.parameters import SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.obs import MetricsRegistry
+from repro.obs.registry import _instrument_key
+
+
+def test_instrument_key_sorts_labels():
+    assert _instrument_key("x", {}) == "x"
+    assert (
+        _instrument_key("x", {"b": 1, "a": "y"}) == "x{a=y,b=1}"
+    )
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    counter = registry.counter("fetches", disk=0)
+    counter.inc()
+    counter.inc(2)
+    assert registry.counter("fetches", disk=0) is counter
+    assert counter.value == 3
+    # Different labels are a different instrument.
+    assert registry.counter("fetches", disk=1).value == 0
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("x").inc(-1)
+
+
+def test_gauge_set():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(7.5)
+    assert registry.gauge("depth").value == 7.5
+
+
+def test_histogram_buckets_and_overflow():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", bounds=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 99.0):
+        histogram.observe(value)
+    assert histogram.counts == [2, 1, 1]  # <=1, <=10, +inf
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx((0.5 + 0.7 + 5.0 + 99.0) / 4)
+
+
+def test_histogram_empty_mean_is_zero():
+    assert MetricsRegistry().histogram("lat").mean == 0.0
+
+
+def test_round_trip_preserves_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("c", kind="demand").inc(4)
+    registry.gauge("g").set(2.5)
+    registry.histogram("h", bounds=(1.0,)).observe(3.0)
+    restored = MetricsRegistry.from_dict(registry.to_dict())
+    assert restored.to_dict() == registry.to_dict()
+
+
+def test_to_dict_is_sorted_by_key():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc()
+    registry.counter("alpha").inc()
+    data = registry.to_dict()
+    keys = list(data["counters"])
+    assert keys == sorted(keys) and len(keys) == 2
+
+
+def test_snapshot_mirrors_merge_metrics():
+    config = SimulationConfig(
+        num_runs=4, num_disks=2, blocks_per_run=20, trials=1
+    )
+    metrics = MergeSimulation(config).run_trial(trial=0)
+    registry = MetricsRegistry()
+    registry.snapshot_metrics(metrics)
+    assert registry.counter("blocks_depleted").value == metrics.blocks_depleted
+    assert registry.gauge("total_time_ms").value == metrics.total_time_ms
+    for disk, stats in enumerate(metrics.drive_stats):
+        assert (
+            registry.counter("drive_busy_ms", disk=disk).value
+            == stats.busy_ms
+        )
+        assert (
+            registry.counter("drive_requests", disk=disk).value
+            == stats.requests
+        )

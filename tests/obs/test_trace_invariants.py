@@ -1,0 +1,141 @@
+"""The contracts that make tracing trustworthy.
+
+1. Tracing is an observer: enabling it leaves ``MergeMetrics`` output
+   byte-for-byte identical.
+2. Both kernels narrate the same story: identical configs and seeds
+   produce identical event streams from ``reference`` and ``fast``.
+3. Busy accounting closes: per-drive service spans sum to the drive's
+   ``DriveStats.busy_ms`` within 1e-6 ms.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import configure
+from repro.core.parameters import PrefetchStrategy, SimulationConfig
+from repro.core.simulator import MergeSimulation
+from repro.faults.plan import fail_slow_plan, transient_plan
+
+MATRIX = [
+    SimulationConfig(num_runs=6, num_disks=1, blocks_per_run=30),
+    SimulationConfig(
+        num_runs=8,
+        num_disks=3,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4,
+        blocks_per_run=30,
+        cpu_ms_per_block=0.5,
+    ),
+    SimulationConfig(
+        num_runs=10,
+        num_disks=5,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=10,
+        blocks_per_run=40,
+    ),
+    SimulationConfig(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=8,
+        blocks_per_run=30,
+        fault_plan=transient_plan(0.1),
+    ),
+    SimulationConfig(
+        num_runs=6,
+        num_disks=3,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4,
+        blocks_per_run=30,
+        fault_plan=fail_slow_plan(1, 3.0),
+    ),
+]
+
+IDS = [config.describe() for config in MATRIX]
+
+
+def _traced_trial(config, kernel):
+    config = dataclasses.replace(config, kernel=kernel)
+    with configure(trace=True) as context:
+        metrics = MergeSimulation(config).run_trial(trial=0)
+    return metrics, context.trace.trials[0]
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=IDS)
+def test_tracing_leaves_metrics_bit_identical(config):
+    plain = MergeSimulation(config).run_trial(trial=0)
+    traced, _ = _traced_trial(config, config.kernel)
+    assert traced.to_dict() == plain.to_dict()
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=IDS)
+def test_kernels_emit_identical_event_streams(config):
+    _, reference = _traced_trial(config, "reference")
+    _, fast = _traced_trial(config, "fast")
+    assert len(reference.events) == len(fast.events)
+    assert reference.events == fast.events
+    assert reference.registry.to_dict() == fast.registry.to_dict()
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=IDS)
+def test_trace_is_deterministic_across_repeats(config):
+    _, first = _traced_trial(config, config.kernel)
+    _, second = _traced_trial(config, config.kernel)
+    assert first.events == second.events
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=IDS)
+def test_service_spans_sum_to_drive_busy_ms(config):
+    metrics, trial = _traced_trial(config, config.kernel)
+    for disk, stats in enumerate(metrics.drive_stats):
+        assert trial.service_busy_ms(disk) == pytest.approx(
+            stats.busy_ms, abs=1e-6
+        )
+
+
+def test_service_spans_cover_write_drives_too():
+    config = SimulationConfig(
+        num_runs=6,
+        num_disks=2,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=4,
+        blocks_per_run=30,
+        write_disks=2,
+    )
+    _, trial = _traced_trial(config, config.kernel)
+    from repro.obs.events import SERVICE_KINDS
+
+    write_busy = sum(
+        event.duration_ms
+        for event in trial.events
+        if event.kind in SERVICE_KINDS and event.track.startswith("write-")
+    )
+    assert write_busy > 0
+
+
+def test_fault_events_appear_under_fault_plans():
+    config = SimulationConfig(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTER_RUN,
+        prefetch_depth=8,
+        blocks_per_run=40,
+        fault_plan=transient_plan(0.2),
+    )
+    from repro.obs import EventKind
+
+    metrics, trial = _traced_trial(config, config.kernel)
+    faults = sum(stats.faults for stats in metrics.drive_stats)
+    assert faults > 0
+    assert len(trial.events_of(EventKind.FAULT)) == faults
+
+
+def test_registry_snapshot_matches_metrics_after_finalize():
+    config = MATRIX[2]
+    metrics, trial = _traced_trial(config, config.kernel)
+    registry = trial.registry
+    assert (
+        registry.counter("blocks_depleted").value == metrics.blocks_depleted
+    )
+    assert registry.gauge("total_time_ms").value == metrics.total_time_ms

@@ -13,7 +13,7 @@ from repro.sweep import CampaignManifest, ResultStore, cache_key
 def metrics_and_key():
     config = SimulationConfig(num_runs=3, num_disks=1, blocks_per_run=20,
                               trials=1)
-    metrics = MergeSimulation(config).run_trial(0)
+    metrics = MergeSimulation(config).run_trial(trial=0)
     return metrics, cache_key(config, config.base_seed)
 
 

@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast lint sweep-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sweep-smoke serve-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 	$(PYTHON) scripts/sweep_smoke.py
+	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) -m repro lint src --stats
 
 # Static invariant enforcement (rules RPR001-RPR009, docs/LINT.md);
@@ -27,6 +28,12 @@ test-fast:
 # Tiny 2-worker sweep; verifies the second pass is 100% cache hits.
 sweep-smoke:
 	$(PYTHON) scripts/sweep_smoke.py
+
+# Live repro.serve instance on an ephemeral port: cache hits without a
+# worker, coalescing, 429/503 shedding, a sweep job, clean drain.  The
+# final /v1/metricz snapshot lands in results/serve/ (CI artifact).
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 # Canonical benchmarks: every scenario on every kernel, reports written
 # as BENCH_<scenario>.json at the repo root (diff with

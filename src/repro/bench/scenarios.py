@@ -114,6 +114,54 @@ def _sweep_build(kernel: str) -> Workload:
     return workload
 
 
+#: Cache-hit requests per timed call of the serve-cache workload.
+_SERVE_CACHE_REQUESTS = 25
+
+#: The serve-cache scenario's live server, reused across builds in one
+#: process so repeated bench runs never accumulate listener threads.
+_SERVE_HANDLE: list = []
+
+
+def _serve_cache_build(kernel: str) -> Workload:
+    """Cache-hit latency and request throughput through the HTTP path.
+
+    Starts a real :class:`~repro.serve.server.SimulationServer` on an
+    ephemeral port with a private store, warms the cache with one
+    computed request, then times rounds of pure cache-hit requests —
+    the parse → lookup → respond path with zero simulation.  Hits never
+    run a kernel, so the scenario records a single kernel-independent
+    variant.
+    """
+    import tempfile
+
+    from repro.serve import NO_RETRY, ServeClient, ServeConfig
+    from repro.serve.server import SimulationServer, start_in_thread
+
+    del kernel  # cache hits never reach a simulation kernel
+    while _SERVE_HANDLE:
+        _SERVE_HANDLE.pop().stop()
+    config = ServeConfig(
+        port=0, workers=0, cache_dir=tempfile.mkdtemp(prefix="repro-bench-")
+    )
+    handle = start_in_thread(SimulationServer(config))
+    _SERVE_HANDLE.append(handle)
+    host, port = handle.address
+    client = ServeClient(host, port, retry=NO_RETRY)
+    request = {"num_runs": 6, "num_disks": 2, "strategy": "intra-run",
+               "prefetch_depth": 4, "blocks_per_run": 60}
+    warmed = client.simulate(request, trials=1, seed=1992)
+    assert warmed["cache"]["misses"] == 1  # the one and only computation
+
+    def workload():
+        for _ in range(_SERVE_CACHE_REQUESTS):
+            answer = client.simulate(request, trials=1, seed=1992)
+            if answer["cache"]["hits"] != 1:
+                raise RuntimeError("serve-cache workload missed the cache")
+        return answer
+
+    return workload
+
+
 def _markov_build(kernel: str) -> Workload:
     """Stationary-distribution solves of the companion-TR Markov chain."""
     del kernel  # pure analysis: no simulation kernel involved
@@ -188,6 +236,17 @@ SCENARIOS: dict[str, BenchScenario] = {
             workload_events=4 * 6 * 60,
             build=_sweep_build,
             repeats=3,
+        ),
+        BenchScenario(
+            name="serve-cache",
+            description="HTTP cache-hit round trips against a live "
+            "repro.serve instance: 25 single-trial requests per call, "
+            "all answered from the content-addressed store",
+            workload_events=_SERVE_CACHE_REQUESTS,
+            build=_serve_cache_build,
+            kernels=("reference",),
+            repeats=5,
+            warmup=1,
         ),
         BenchScenario(
             name="analysis-markov",

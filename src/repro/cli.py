@@ -9,6 +9,7 @@ Usage::
     python -m repro simulate -k 25 -D 5 --strategy inter-run -N 10
     python -m repro sweep -k 25 -D 1,2,5 --strategy intra-run -N 5,10,20 \
         --workers 4 --blocks 200
+    python -m repro serve --port 8177 --workers 2 --rate 10
 """
 
 from __future__ import annotations
@@ -316,6 +317,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_validate.add_argument(
         "path", help="trace file written with --trace-out"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON simulation service (caching, coalescing, "
+        "rate limits, backpressure; see docs/SERVE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8177,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for cache misses; 0 computes in-process "
+        "on a thread (default 2)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client request rate limit in requests/s; 0 disables "
+        "(default)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None,
+        help="per-client token-bucket capacity (default max(1, rate))",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="concurrent compute slots before misses are shed with 503; "
+        "0 disables shedding (default 64)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="default per-request deadline in seconds; 0 disables "
+        "(default 30)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-trial SIGALRM budget inside pool workers (seconds)",
+    )
+    serve.add_argument(
+        "--cache-dir", default="results/cache",
+        help="content-addressed result store shared with 'repro sweep' "
+        "(default results/cache)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds a SIGTERM drain waits for in-flight work "
+        "(default 10)",
     )
 
     lint = sub.add_parser(
@@ -1037,6 +1086,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled bench command {args.bench_command}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, SimulationServer
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            rate=args.rate,
+            burst=args.burst,
+            queue_limit=args.queue_limit,
+            deadline_s=args.deadline,
+            job_timeout_s=args.job_timeout,
+            cache_dir=args.cache_dir,
+            drain_grace_s=args.drain_grace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = SimulationServer(config)
+
+    def announce() -> None:
+        mode = (f"{config.workers} worker process(es)" if config.workers
+                else "in-process thread")
+        rate = (f"{config.rate:g} req/s per client" if config.rate > 0
+                else "disabled")
+        print(f"repro serve listening on http://{config.host}:{server.port}")
+        print(f"  compute   : {mode}, queue limit "
+              f"{config.queue_limit or 'unbounded'}")
+        print(f"  rate limit: {rate}")
+        print(f"  cache     : {config.cache_dir}")
+        print("  stop      : SIGTERM/SIGINT drains gracefully")
+
+    try:
+        asyncio.run(server.run(on_ready=announce))
+    except KeyboardInterrupt:
+        # Signal handler installation can fail on exotic loops; a raw
+        # Ctrl-C then still exits cleanly, just without the drain.
+        print("interrupted before drain completed", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "validate":
         from repro.obs import validate_chrome_trace_file
@@ -1086,6 +1179,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "lint":

@@ -41,11 +41,14 @@ class LintConfig:
     #: Simulation modules: no wall clocks, OS entropy, or global RNG.
     determinism_modules: list[str] = field(default_factory=lambda: [
         "repro/sim", "repro/core", "repro/disks", "repro/faults",
-        "repro/workloads", "repro/obs",
+        "repro/workloads", "repro/obs", "repro/serve",
     ])
-    #: The blessed randomness module itself (and any other exemptions).
+    #: The blessed randomness module itself (and any other exemptions);
+    #: repro/serve/clock.py is the service's one injected wall-clock
+    #: seam (see its docstring).
     determinism_exempt: list[str] = field(default_factory=lambda: [
         "repro/sim/random_streams.py",
+        "repro/serve/clock.py",
     ])
 
     # -- RPR002 hot-path slotting --------------------------------------------
@@ -73,6 +76,7 @@ class LintConfig:
     #: Worker/retry code where a broad ``except`` needs a baseline entry.
     broad_except_modules: list[str] = field(default_factory=lambda: [
         "repro/sweep", "repro/experiments/runner.py", "repro/faults",
+        "repro/serve",
     ])
 
     # -- RPR009 deprecated override shims ------------------------------------

@@ -1,0 +1,36 @@
+"""The serve layer's only wall-clock access point.
+
+``repro/serve`` sits inside the lint determinism scope (RPR001): no
+module there may read a wall clock directly, because anything that
+creeps from the serve layer into simulation code must stay replayable.
+Operational time — token-bucket refill, latency histograms, deadline
+accounting — is real time, though, so it is *injected*: every
+time-dependent serve component takes a ``clock`` (and, where it sleeps,
+a ``sleep``) callable defaulting to the functions here, and tests drive
+the same components with a fake clock for deterministic behaviour.
+
+This module is the single exemption (``determinism-exempt`` in
+``pyproject.toml``), mirroring how :mod:`repro.sim.random_streams` is
+the single blessed randomness module.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable
+
+#: Signature of an injected clock: seconds from an arbitrary epoch.
+Clock = Callable[[], float]
+
+#: Signature of an injected blocking sleep.
+Sleep = Callable[[float], None]
+
+
+def monotonic_clock() -> float:
+    """Seconds on the process monotonic clock (never goes backwards)."""
+    return _time.monotonic()
+
+
+def blocking_sleep(seconds: float) -> None:
+    """Default :data:`Sleep` for the synchronous client."""
+    _time.sleep(seconds)

@@ -1,0 +1,124 @@
+"""Per-client token-bucket admission control.
+
+Each client (``X-Client-Id`` header, falling back to the peer address)
+owns one bucket of ``burst`` tokens refilled continuously at ``rate``
+tokens per second.  A request costs one token; an empty bucket means
+the request is shed with ``429`` and a ``Retry-After`` telling the
+client exactly how long until the next token exists — the server never
+queues throttled work, it prices it.
+
+Time is injected (:mod:`repro.serve.clock`), so the refill math is
+exact and the tests run on a fake clock.  Buckets for idle clients are
+pruned once they are full again, bounding memory under adversarial
+client-id churn.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serve.clock import Clock, monotonic_clock
+
+#: Idle-bucket sweep cadence: amortized pruning every N admissions.
+_PRUNE_EVERY = 1024
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def take(self, now: float) -> bool:
+        """Consume one token; False when the bucket is empty."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self, now: float) -> float:
+        """Seconds until one full token exists again."""
+        self._refill(now)
+        deficit = 1.0 - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        return deficit / self.rate
+
+    def is_full(self, now: float) -> bool:
+        self._refill(now)
+        return self.tokens >= self.burst
+
+
+class RateLimiter:
+    """Keyed token buckets with amortized idle pruning.
+
+    ``rate <= 0`` disables limiting entirely (every request admitted),
+    which is the right default for trusted single-tenant deployments
+    and for benchmarks.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Clock = monotonic_clock,
+    ) -> None:
+        if burst is None:
+            # One second of headroom, and never a zero-capacity bucket.
+            burst = max(1.0, rate)
+        if rate > 0 and burst < 1.0:
+            raise ValueError("burst must be >= 1 token")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admissions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> bool:
+        """Admit one request from ``client`` (consuming a token)."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, now
+            )
+        self._admissions += 1
+        if self._admissions % _PRUNE_EVERY == 0:
+            self._prune(now)
+        return bucket.take(now)
+
+    def retry_after_s(self, client: str) -> float:
+        """Advice for a just-throttled ``client``; 0 when unknown."""
+        bucket = self._buckets.get(client)
+        if bucket is None or not self.enabled:
+            return 0.0
+        return bucket.retry_after_s(self._clock())
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled completely (idle clients)."""
+        idle = [
+            client for client, bucket in self._buckets.items()
+            if bucket.is_full(now)
+        ]
+        for client in idle:
+            del self._buckets[client]
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,667 @@
+"""The asyncio HTTP/JSON simulation service.
+
+One :class:`SimulationServer` is the repo's front door: it turns the
+content-addressed sweep cache into a shared global answer store and
+serves it over five endpoints::
+
+    POST /v1/simulate   one configuration, trial-granular cached
+    POST /v1/sweep      submit a SweepSpec as a background job (202)
+    GET  /v1/jobs/<id>  poll a submitted sweep job
+    GET  /v1/healthz    liveness + drain state
+    GET  /v1/metricz    obs MetricsRegistry snapshot (JSON)
+
+Every simulate request flows through the same pipeline:
+
+1. **cache front** — each trial is looked up by its
+   :func:`repro.sweep.store.compute_key` content address; hits are
+   answered from one JSON read and never touch a worker.
+2. **single flight** — concurrent identical misses coalesce onto one
+   computation keyed by the same content address.
+3. **bounded compute** — flight leaders take an
+   :class:`~repro.serve.queue.AdmissionQueue` slot (shed with 503 when
+   none is free) and run :func:`repro.sweep.worker.execute_job` on a
+   lazily created ``ProcessPoolExecutor`` — the sweep worker path, so
+   kernel/fault/seed semantics and ``SIGALRM`` job timeouts are
+   inherited and every computed trial lands back in the shared store.
+4. **admission control** — per-client token buckets answer 429 with
+   ``Retry-After``; per-request deadlines answer 504; ``SIGTERM``
+   triggers a graceful drain that finishes in-flight work first.
+
+The HTTP layer is a deliberately minimal HTTP/1.1 server over
+``asyncio.start_server`` (request line, headers, ``Content-Length``
+body, ``Connection: close`` responses) — enough for JSON APIs, zero
+dependencies, and trivially fuzzable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import dataclasses
+import json
+import math
+import signal
+import threading
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.metrics import AggregateMetrics, MergeMetrics
+from repro.core.parameters import SimulationConfig
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import CacheFront
+from repro.serve.clock import Clock, monotonic_clock
+from repro.serve.limiter import RateLimiter
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SimulateRequest,
+    overload_body,
+    parse_simulate_request,
+    parse_sweep_request,
+    simulate_response,
+)
+from repro.serve.queue import AdmissionQueue, QueueFullError
+from repro.serve.singleflight import SingleFlight
+from repro.sweep.keys import config_to_dict
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.sweep.worker import execute_job
+
+#: Reason phrases for the statuses this server emits.
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: Latency histogram buckets (ms): sub-millisecond cache hits through
+#: multi-second simulations.
+_LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: How long a header+body read may take before the connection is dropped.
+_READ_TIMEOUT_S = 30.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Operational knobs of one server instance (docs/SERVE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: Worker processes for misses; 0 runs jobs on a thread in-process
+    #: (tests, tiny deployments — no SIGALRM job timeouts there).
+    workers: int = 0
+    #: Token-bucket refill per client in requests/second; <= 0 disables.
+    rate: float = 0.0
+    #: Bucket capacity; None = max(1, rate).
+    burst: Optional[float] = None
+    #: Concurrent compute slots before misses are shed with 503; <= 0
+    #: disables shedding.
+    queue_limit: int = 64
+    #: Default per-request deadline (seconds); <= 0 disables.
+    deadline_s: float = 30.0
+    #: Per-job SIGALRM budget inside pool workers (None = unguarded).
+    job_timeout_s: Optional[float] = None
+    #: Content-addressed result store shared with sweep campaigns.
+    cache_dir: str | Path = DEFAULT_CACHE_DIR
+    #: How long a drain waits for in-flight work before cancelling it.
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+
+
+class SimulationServer:
+    """One service instance bound to one event loop.
+
+    Construct, then either ``asyncio.run(server.run())`` (the CLI
+    path: installs SIGTERM/SIGINT drain handlers when possible) or
+    :func:`start_in_thread` (tests, benchmarks, smoke scripts).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig = ServeConfig(),
+        *,
+        store: Optional[ResultStore] = None,
+        clock: Clock = monotonic_clock,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.cache = CacheFront(store or ResultStore(config.cache_dir))
+        self.limiter = RateLimiter(config.rate, config.burst, clock=clock)
+        self.admission = AdmissionQueue(config.queue_limit)
+        self.flights = SingleFlight()
+        self.metrics = MetricsRegistry()
+        self.port: Optional[int] = None  # bound port, set by start()
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._jobs: dict[str, dict] = {}
+        self._job_seq = 0
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._active: set[asyncio.Task] = set()
+        self._background: set[asyncio.Task] = set()
+        self._drain_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; sets :attr:`port`."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._started_at = self.clock()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run(
+        self,
+        *,
+        install_signal_handlers: bool = True,
+        on_ready: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Start, serve until drained, then clean up."""
+        await self.start()
+        if install_signal_handlers:
+            self._install_signal_handlers()
+        if on_ready is not None:
+            on_ready()
+        try:
+            await self._stopped.wait()
+        finally:
+            await self._shutdown()
+
+    def _install_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or platform without loop signal
+                # support: drain stays available via request_drain().
+                break
+
+    def request_drain(self) -> None:
+        """Begin a graceful shutdown (idempotent; SIGTERM handler).
+
+        Stops accepting connections, lets in-flight requests and
+        background sweep jobs finish (bounded by ``drain_grace_s``),
+        then releases :meth:`run`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+        grace = self.config.drain_grace_s
+        pending = self._active | self._background
+        if pending:
+            done, straggling = await asyncio.wait(pending, timeout=grace)
+            for task in straggling:
+                task.cancel()
+            if straggling:
+                await asyncio.wait(straggling, timeout=1.0)
+        self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._active.add(task)
+        try:
+            await self._serve_one(reader, writer)
+        finally:
+            self._active.discard(task)
+            writer.close()
+            with contextlib.suppress(OSError):
+                await writer.wait_closed()
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await asyncio.wait_for(
+                self._read_request(reader), _READ_TIMEOUT_S
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, ValueError):
+            return  # unparseable or abandoned connection: nothing to answer
+        if parsed is None:
+            return
+        method, path, headers, body = parsed
+        start = self.clock()
+        try:
+            status, payload, extra = await self._dispatch(
+                method, path, headers, body
+            )
+        except Exception as exc:
+            # Request isolation boundary: one failing handler must
+            # answer 500 and leave the server (and its event loop)
+            # serving every other connection.
+            status, extra = 500, {}
+            payload = {"error": "internal", "detail": f"{type(exc).__name__}"}
+        self.metrics.counter("serve_responses", code=status).inc()
+        endpoint = _endpoint_label(path)
+        self.metrics.histogram(
+            "serve_latency_ms", bounds=_LATENCY_BUCKETS_MS, endpoint=endpoint
+        ).observe((self.clock() - start) * 1000.0)
+        await self._write_response(writer, status, payload, extra)
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return method, target, headers, None  # signals 413 downstream
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, headers: dict, body: Optional[bytes]
+    ) -> tuple[int, dict, dict]:
+        self.metrics.counter(
+            "serve_requests", endpoint=_endpoint_label(path)
+        ).inc()
+        if body is None:
+            return 413, {"error": "payload-too-large",
+                         "detail": f"body exceeds {MAX_BODY_BYTES} bytes"}, {}
+        if path == "/v1/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self._health_body(), {}
+        if path == "/v1/metricz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            self._refresh_gauges()
+            return 200, self.metrics.to_dict(), {}
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._job_status(path.removeprefix("/v1/jobs/"))
+        if path == "/v1/simulate":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return await self._handle_simulate(headers, body)
+        if path == "/v1/sweep":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._handle_sweep(headers, body)
+        return 404, {"error": "not-found", "detail": f"no route for {path}"}, {}
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> tuple[int, dict, dict]:
+        return 405, {"error": "method-not-allowed",
+                     "detail": f"use {allowed}"}, {"Allow": allowed}
+
+    def _health_body(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": self.clock() - self._started_at,
+            "inflight": len(self._active),
+            "queue_depth": self.admission.depth,
+            "jobs": len(self._jobs),
+        }
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.gauge("serve_queue_depth").set(
+            float(self.admission.depth)
+        )
+        self.metrics.gauge("serve_inflight").set(float(len(self._active)))
+        self.metrics.gauge("serve_flights").set(float(len(self.flights)))
+
+    # -- admission helpers ---------------------------------------------------
+
+    def _client_id(self, headers: dict) -> str:
+        return headers.get("x-client-id", "anonymous")
+
+    def _shed(self, reason: str, code: str, detail: str,
+              retry_after_s: float) -> tuple[int, dict, dict]:
+        self.metrics.counter("serve_shed", reason=reason).inc()
+        status = 429 if reason == "rate" else 503
+        header = {"Retry-After": str(max(1, math.ceil(retry_after_s)))}
+        return status, overload_body(code, detail, retry_after_s), header
+
+    # -- /v1/simulate --------------------------------------------------------
+
+    async def _handle_simulate(
+        self, headers: dict, body: bytes
+    ) -> tuple[int, dict, dict]:
+        if self._draining:
+            return self._shed(
+                "draining", "draining",
+                "server is draining; retry against another instance",
+                self.config.drain_grace_s,
+            )
+        client = self._client_id(headers)
+        if not self.limiter.allow(client):
+            retry_after = self.limiter.retry_after_s(client)
+            return self._shed(
+                "rate", "rate-limited",
+                f"client {client!r} exceeded its request rate",
+                retry_after,
+            )
+        try:
+            request = parse_simulate_request(json.loads(body or b"null"))
+        except json.JSONDecodeError as exc:
+            return 400, {"error": "bad-json", "detail": str(exc)}, {}
+        except ProtocolError as exc:
+            return exc.status, exc.body(), {}
+        start = self.clock()
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.deadline_s
+        )
+        try:
+            if deadline_s and deadline_s > 0:
+                trials, hits, coalesced = await asyncio.wait_for(
+                    self._simulate(request), deadline_s
+                )
+            else:
+                trials, hits, coalesced = await self._simulate(request)
+        except QueueFullError as exc:
+            return self._shed("queue", "overloaded", str(exc), 1.0)
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve_deadline_exceeded").inc()
+            return 504, {
+                "error": "deadline-exceeded",
+                "detail": f"request exceeded its {deadline_s:g}s deadline "
+                "(the computation continues; retry to pick up the "
+                "cached answer)",
+            }, {}
+        elapsed_ms = (self.clock() - start) * 1000.0
+        response = simulate_response(
+            request.config,
+            trials,
+            hits=hits,
+            misses=len(trials) - hits,
+            coalesced=coalesced,
+            elapsed_ms=elapsed_ms,
+        )
+        return 200, response, {}
+
+    async def _simulate(
+        self, request: SimulateRequest
+    ) -> tuple[list[MergeMetrics], int, int]:
+        """The cache -> coalesce -> compute pipeline for one request.
+
+        Returns ``(trials_in_order, hit_count, coalesced_count)``.
+        """
+        config = request.config
+        hits, misses = self.cache.lookup_trials(config)
+        if hits:
+            self.metrics.counter("serve_cache", outcome="hit").inc(len(hits))
+        results: dict[int, MergeMetrics] = dict(hits)
+        coalesced_count = 0
+        if misses:
+            computed = await asyncio.gather(
+                *(self._compute_trial(config, trial) for trial in misses)
+            )
+            for trial, metrics, coalesced in computed:
+                results[trial] = metrics
+                outcome = "coalesced" if coalesced else "miss"
+                self.metrics.counter("serve_cache", outcome=outcome).inc()
+                coalesced_count += 1 if coalesced else 0
+        ordered = [results[trial] for trial in range(config.trials)]
+        return ordered, len(hits), coalesced_count
+
+    async def _compute_trial(
+        self, config: SimulationConfig, trial: int, *, wait: bool = False
+    ) -> tuple[int, MergeMetrics, bool]:
+        """One miss through single-flight + admission + the worker pool."""
+        key = self.cache.key_for(config, trial)
+
+        async def flight() -> MergeMetrics:
+            async with self.admission.slot(wait=wait):
+                payload = await self._execute(config, trial)
+            self.metrics.counter("serve_computed").inc()
+            return self.cache.store_trial(config, trial, payload)
+
+        metrics, coalesced = await self.flights.run(key, flight)
+        return trial, metrics, coalesced
+
+    async def _execute(self, config: SimulationConfig, trial: int) -> dict:
+        """Run one trial on the worker pool (the sweep worker path)."""
+        pool = self._ensure_pool()
+        payload = {
+            "config": config_to_dict(config),
+            "trial": trial,
+            # SIGALRM is main-thread-only: the in-process thread
+            # fallback must run unguarded.
+            "timeout_s": self.config.job_timeout_s if pool else None,
+        }
+        return await self._loop.run_in_executor(pool, execute_job, payload)
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.Executor]:
+        """The worker pool, created on first miss — hits never pay for it."""
+        if self.config.workers <= 0:
+            return None
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+            self.metrics.gauge("serve_pool_workers").set(
+                float(self.config.workers)
+            )
+        return self._pool
+
+    # -- /v1/sweep + /v1/jobs ------------------------------------------------
+
+    def _handle_sweep(
+        self, headers: dict, body: bytes
+    ) -> tuple[int, dict, dict]:
+        if self._draining:
+            return self._shed(
+                "draining", "draining",
+                "server is draining; retry against another instance",
+                self.config.drain_grace_s,
+            )
+        client = self._client_id(headers)
+        if not self.limiter.allow(client):
+            return self._shed(
+                "rate", "rate-limited",
+                f"client {client!r} exceeded its request rate",
+                self.limiter.retry_after_s(client),
+            )
+        try:
+            spec = parse_sweep_request(json.loads(body or b"null"))
+        except json.JSONDecodeError as exc:
+            return 400, {"error": "bad-json", "detail": str(exc)}, {}
+        except ProtocolError as exc:
+            return exc.status, exc.body(), {}
+        self._job_seq += 1
+        job_id = f"job-{self._job_seq:06d}"
+        jobs = spec.jobs()
+        record = {
+            "job": job_id,
+            "status": "queued",
+            "name": spec.name,
+            "cells": len(spec.cell_params()),
+            "trials_total": len(jobs),
+            "trials_done": 0,
+            "error": None,
+        }
+        self._jobs[job_id] = record
+        task = self._loop.create_task(self._run_sweep_job(record, spec))
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+        self.metrics.counter("serve_sweep_jobs").inc()
+        return 202, dict(record), {}
+
+    async def _run_sweep_job(self, record: dict, spec: SweepSpec) -> None:
+        """Background execution of one submitted sweep.
+
+        Runs through the identical trial pipeline as ``/v1/simulate``
+        (store, single flight, pool) but *waits* for compute slots
+        instead of shedding — a background job wants throughput, not a
+        latency bound.
+        """
+        record["status"] = "running"
+        try:
+            cells = []
+            for config in spec.cells():
+                hits, misses = self.cache.lookup_trials(config)
+                if hits:
+                    self.metrics.counter(
+                        "serve_cache", outcome="hit"
+                    ).inc(len(hits))
+                record["trials_done"] += len(hits)
+                results: dict[int, MergeMetrics] = dict(hits)
+                for trial in misses:
+                    _, metrics, coalesced = await self._compute_trial(
+                        config, trial, wait=True
+                    )
+                    outcome = "coalesced" if coalesced else "miss"
+                    self.metrics.counter("serve_cache", outcome=outcome).inc()
+                    results[trial] = metrics
+                    record["trials_done"] += 1
+                aggregate = AggregateMetrics(
+                    config.describe(),
+                    [results[t] for t in range(config.trials)],
+                )
+                cells.append(aggregate.to_dict())
+            record["cells_result"] = cells
+            record["status"] = "done"
+        except asyncio.CancelledError:
+            record["status"] = "cancelled"
+            record["error"] = "cancelled during drain"
+            raise
+        except Exception as exc:
+            # Job isolation boundary: a failing sweep job must be
+            # reported through /v1/jobs, never crash the server.
+            record["status"] = "failed"
+            record["error"] = f"{type(exc).__name__}: {exc}"
+
+    def _job_status(self, job_id: str) -> tuple[int, dict, dict]:
+        record = self._jobs.get(job_id)
+        if record is None:
+            return 404, {"error": "not-found",
+                         "detail": f"unknown job {job_id!r}"}, {}
+        return 200, dict(record), {}
+
+
+def _endpoint_label(path: str) -> str:
+    """Bounded-cardinality endpoint label for metrics."""
+    if path.startswith("/v1/jobs/"):
+        return "jobs"
+    known = {"/v1/simulate": "simulate", "/v1/sweep": "sweep",
+             "/v1/healthz": "healthz", "/v1/metricz": "metricz"}
+    return known.get(path, "other")
+
+
+# -- threaded harness (tests, benchmarks, smoke scripts) ---------------------
+
+
+class ServerHandle:
+    """A running server on a daemon thread, stoppable from outside."""
+
+    def __init__(self, server: SimulationServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.config.host, self.server.port
+
+    def stop(self, timeout_s: float = 15.0) -> None:
+        """Trigger a graceful drain and join the server thread."""
+        loop = self.server._loop
+        if loop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.server.request_drain)
+        self.thread.join(timeout_s)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    server: SimulationServer, *, ready_timeout_s: float = 15.0
+) -> ServerHandle:
+    """Run ``server`` on a daemon thread; returns once it is accepting."""
+    ready = threading.Event()
+    failures: list[BaseException] = []
+
+    def runner() -> None:
+        try:
+            asyncio.run(
+                server.run(install_signal_handlers=False, on_ready=ready.set)
+            )
+        except BaseException as exc:
+            failures.append(exc)
+            ready.set()
+            raise
+
+    thread = threading.Thread(
+        target=runner, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout_s):
+        raise RuntimeError("server did not start within the ready timeout")
+    if failures:
+        raise RuntimeError("server failed to start") from failures[0]
+    return ServerHandle(server, thread)

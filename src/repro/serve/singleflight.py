@@ -1,0 +1,65 @@
+"""Keyed single-flight execution: identical in-flight work runs once.
+
+Two requests for the same content-addressed trial arriving concurrently
+must not both burn a worker: the first becomes the flight *leader* and
+actually computes; everyone else joining before it lands is a
+*follower* awaiting the same task.  Combined with the persistent
+result store this closes the stampede window — after the flight
+finishes, later requests are plain cache hits.
+
+Flights are :class:`asyncio.Task` objects and waiters await them
+through :func:`asyncio.shield`, so a follower whose request deadline
+expires is cancelled *without* cancelling the shared computation (the
+leader's result still lands in the store for everyone after).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class SingleFlight:
+    """A keyed map of in-flight computations (single event loop only)."""
+
+    def __init__(self) -> None:
+        self._flights: dict[str, asyncio.Task] = {}
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._flights
+
+    def join(
+        self, key: str, factory: Callable[[], Awaitable[Any]]
+    ) -> tuple[asyncio.Task, bool]:
+        """The flight for ``key``, creating it from ``factory`` if absent.
+
+        Returns ``(task, coalesced)``: ``coalesced`` is True when an
+        existing flight was joined (``factory`` was not called).  The
+        flight removes itself from the map when it finishes, so a
+        failed flight is retried by the next request rather than
+        poisoning the key forever.
+        """
+        task = self._flights.get(key)
+        if task is not None:
+            return task, True
+        task = asyncio.ensure_future(factory())
+        self._flights[key] = task
+        task.add_done_callback(lambda _done, key=key: self._forget(key))
+        return task, False
+
+    async def run(
+        self, key: str, factory: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """Await the (possibly shared) flight for ``key``.
+
+        The await is shielded: cancelling this caller abandons the wait
+        but leaves the underlying flight running for its other waiters.
+        """
+        task, coalesced = self.join(key, factory)
+        return await asyncio.shield(task), coalesced
+
+    def _forget(self, key: str) -> None:
+        self._flights.pop(key, None)

@@ -50,7 +50,13 @@ from repro.sweep.progress import (
     SweepStats,
 )
 from repro.sweep.spec import SweepJob, SweepSpec, jobs_for_config
-from repro.sweep.store import DEFAULT_CACHE_DIR, CampaignManifest, ResultStore
+from repro.sweep.store import (
+    DEFAULT_CACHE_DIR,
+    CampaignManifest,
+    ResultStore,
+    compute_key,
+    lookup,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -68,7 +74,9 @@ __all__ = [
     "SweepSpec",
     "SweepStats",
     "cache_key",
+    "compute_key",
     "config_from_dict",
     "config_to_dict",
     "jobs_for_config",
+    "lookup",
 ]

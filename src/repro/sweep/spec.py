@@ -20,12 +20,8 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.core.parameters import SimulationConfig
-from repro.sweep.keys import (
-    cache_key,
-    canonical_json,
-    coerce_params,
-    config_to_dict,
-)
+from repro.sweep.keys import canonical_json, coerce_params, config_to_dict
+from repro.sweep.store import compute_key
 
 
 @dataclass(frozen=True)
@@ -58,7 +54,7 @@ def jobs_for_config(
             cell=cell,
             trial=trial,
             config=config,
-            key=cache_key(config, config.base_seed + trial),
+            key=compute_key(config, trial),
         )
         for trial in range(config.trials)
     ]

@@ -1,0 +1,86 @@
+"""Token-bucket rate limiting on a fake clock: exact refill math."""
+
+import pytest
+
+from repro.serve.limiter import _PRUNE_EVERY, RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert [bucket.take(0.0) for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_continuous_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+        # 2 tokens/s: exactly one token exists again at t=0.5.
+        assert not bucket.take(0.4999)
+        assert bucket.take(0.5)
+
+    def test_retry_after_is_exact(self):
+        bucket = TokenBucket(rate=0.5, burst=1.0, now=0.0)
+        bucket.take(0.0)
+        assert bucket.retry_after_s(0.0) == pytest.approx(2.0)
+        assert bucket.retry_after_s(1.0) == pytest.approx(1.0)
+        assert bucket.retry_after_s(2.0) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket._refill(100.0)
+        assert bucket.tokens == 2.0
+
+
+class TestRateLimiter:
+    def test_disabled_admits_everything(self):
+        limiter = RateLimiter(rate=0.0)
+        assert not limiter.enabled
+        assert all(limiter.allow("c") for _ in range(1000))
+        assert len(limiter) == 0  # no buckets even created
+
+    def test_per_client_isolation(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")  # alice's empty bucket is not bob's
+
+    def test_retry_after_matches_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.25, burst=1.0, clock=clock)
+        limiter.allow("c")
+        assert not limiter.allow("c")
+        assert limiter.retry_after_s("c") == pytest.approx(4.0)
+        assert limiter.retry_after_s("unknown-client") == 0.0
+
+    def test_burst_default(self):
+        assert RateLimiter(rate=7.0).burst == 7.0
+        assert RateLimiter(rate=0.5).burst == 1.0  # never below one token
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0.5)
+
+    def test_idle_buckets_pruned(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=100.0, burst=1.0, clock=clock)
+        limiter.allow("idle-client")
+        clock.advance(10.0)  # idle-client's bucket refills completely
+        for index in range(_PRUNE_EVERY):
+            limiter.allow(f"churn-{index}")
+            clock.advance(1.0)  # each churn bucket refills too
+        assert "idle-client" not in limiter._buckets
+        assert len(limiter) < _PRUNE_EVERY

@@ -1,0 +1,115 @@
+"""Single-flight coalescing semantics on a private event loop."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_concurrent_identical_work_runs_once():
+    async def scenario():
+        flights = SingleFlight()
+        calls = 0
+        gate = asyncio.Event()
+
+        async def work():
+            nonlocal calls
+            calls += 1
+            await gate.wait()
+            return "answer"
+
+        first = asyncio.ensure_future(flights.run("k", work))
+        await asyncio.sleep(0)  # let the leader take off
+        second = asyncio.ensure_future(flights.run("k", work))
+        await asyncio.sleep(0)
+        gate.set()
+        results = await asyncio.gather(first, second)
+        return calls, results
+
+    calls, results = run(scenario())
+    assert calls == 1
+    assert results[0] == ("answer", False)  # the leader
+    assert results[1] == ("answer", True)  # coalesced follower
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def scenario():
+        flights = SingleFlight()
+
+        async def work():
+            return "x"
+
+        (_, first), (_, second) = await asyncio.gather(
+            flights.run("a", work), flights.run("b", work)
+        )
+        return first, second
+
+    assert run(scenario()) == (False, False)
+
+
+def test_finished_flight_is_forgotten():
+    async def scenario():
+        flights = SingleFlight()
+
+        async def work():
+            return 1
+
+        await flights.run("k", work)
+        assert "k" not in flights
+        # A later request recomputes rather than joining a stale flight.
+        _, coalesced = await flights.run("k", work)
+        return coalesced
+
+    assert run(scenario()) is False
+
+
+def test_failed_flight_does_not_poison_the_key():
+    async def scenario():
+        flights = SingleFlight()
+
+        async def boom():
+            raise RuntimeError("first attempt fails")
+
+        async def fine():
+            return "recovered"
+
+        with pytest.raises(RuntimeError):
+            await flights.run("k", boom)
+        value, coalesced = await flights.run("k", fine)
+        return value, coalesced
+
+    assert run(scenario()) == ("recovered", False)
+
+
+def test_cancelled_waiter_leaves_the_flight_running():
+    async def scenario():
+        flights = SingleFlight()
+        gate = asyncio.Event()
+        landed = []
+
+        async def work():
+            await gate.wait()
+            landed.append(True)
+            return "answer"
+
+        leader = asyncio.ensure_future(flights.run("k", work))
+        await asyncio.sleep(0)
+        waiter = asyncio.ensure_future(flights.run("k", work))
+        await asyncio.sleep(0)
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        # The shared flight survived the waiter's cancellation.
+        assert "k" in flights
+        gate.set()
+        value, _ = await leader
+        return value, landed
+
+    value, landed = run(scenario())
+    assert value == "answer"
+    assert landed == [True]

@@ -6,7 +6,13 @@ import pytest
 
 from repro.core.parameters import SimulationConfig
 from repro.core.simulator import MergeSimulation
-from repro.sweep import CampaignManifest, ResultStore, cache_key
+from repro.sweep import (
+    CampaignManifest,
+    ResultStore,
+    cache_key,
+    compute_key,
+    lookup,
+)
 
 
 @pytest.fixture
@@ -75,3 +81,77 @@ def test_manifest_rejects_spec_change_under_same_name(tmp_path):
     other = CampaignManifest(tmp_path, "camp")
     with pytest.raises(ValueError, match="different"):
         other.begin({}, "other-hash", ["k1"])
+
+
+class TestPublicKeyHelpers:
+    """compute_key/lookup: the public spelling every consumer shares."""
+
+    def test_compute_key_matches_engine_derivation(self):
+        config = SimulationConfig(num_runs=3, num_disks=1, blocks_per_run=20,
+                                  trials=3, base_seed=41)
+        for trial in range(config.trials):
+            assert compute_key(config, trial) == cache_key(
+                config, config.base_seed + trial
+            )
+
+    def test_compute_key_matches_sweep_jobs(self):
+        from repro.sweep.spec import jobs_for_config
+
+        config = SimulationConfig(num_runs=3, num_disks=2, blocks_per_run=20,
+                                  trials=2)
+        for job in jobs_for_config(config):
+            assert job.key == compute_key(config, job.trial)
+
+    def test_lookup_round_trip(self, tmp_path, metrics_and_key):
+        metrics, _ = metrics_and_key
+        config = SimulationConfig(num_runs=3, num_disks=1, blocks_per_run=20,
+                                  trials=1)
+        store = ResultStore(tmp_path)
+        assert lookup(config, store=store) is None
+        store.put(compute_key(config, 0), metrics)
+        restored = lookup(config, store=store)
+        assert restored is not None
+        assert restored.to_dict() == metrics.to_dict()
+
+
+class TestAtomicWrites:
+    """A crash mid-write must never corrupt or shadow an entry."""
+
+    def test_crash_mid_write_leaves_no_entry(self, tmp_path, metrics_and_key,
+                                             monkeypatch):
+        metrics, key = metrics_and_key
+        store = ResultStore(tmp_path)
+
+        def exploding_dump(payload, handle, **kwargs):
+            handle.write('{"schema": ')  # partial bytes hit the temp file
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.sweep.store.json.dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            store.put(key, metrics)
+        monkeypatch.undo()
+        assert store.get(key) is None
+        assert list(store.keys()) == []
+        # The failed temp file was cleaned up, not left to accumulate.
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+    def test_crash_mid_write_preserves_previous_entry(self, tmp_path,
+                                                      metrics_and_key,
+                                                      monkeypatch):
+        metrics, key = metrics_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, metrics, seed=1992)
+        before = store.path_for(key).read_bytes()
+
+        def exploding_dump(payload, handle, **kwargs):
+            handle.write("garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.sweep.store.json.dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            store.put(key, metrics, seed=1992)
+        monkeypatch.undo()
+        # The old entry is intact, byte for byte.
+        assert store.path_for(key).read_bytes() == before
+        assert store.get(key) is not None

@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast lint sweep-smoke serve-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sweep-smoke serve-smoke dist-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,7 @@ test:
 	$(PYTHON) -m pytest tests/
 	$(PYTHON) scripts/sweep_smoke.py
 	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) scripts/dist_smoke.py
 	$(PYTHON) -m repro lint src --stats
 
 # Static invariant enforcement (rules RPR001-RPR009, docs/LINT.md);
@@ -34,6 +35,13 @@ sweep-smoke:
 # final /v1/metricz snapshot lands in results/serve/ (CI artifact).
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Real-process distributed campaign: coordinator + worker over the CLI,
+# SIGKILL the worker mid-campaign, a second worker must finish every
+# shard (lease expiry + re-issue).  Mid-run /v1/metricz lands in
+# results/dist/ (CI artifact).
+dist-smoke:
+	$(PYTHON) scripts/dist_smoke.py
 
 # Canonical benchmarks: every scenario on every kernel, reports written
 # as BENCH_<scenario>.json at the repo root (diff with

@@ -162,6 +162,78 @@ def _serve_cache_build(kernel: str) -> Workload:
     return workload
 
 
+def _dist_sweep_spec():
+    from repro.sweep import SweepSpec
+
+    return SweepSpec(
+        name="bench-dist-sweep",
+        base={
+            "num_runs": 6,
+            "strategy": "intra-run",
+            "blocks_per_run": 60,
+        },
+        grid={"num_disks": [1, 2], "prefetch_depth": [2, 4]},
+        trials=1,
+        base_seed=1992,
+    )
+
+
+def _dist_sweep_build(kernel: str) -> Workload:
+    """Campaign-execution overhead: in-process engine vs coordination.
+
+    Both variants run the *same* 4-cell campaign into a fresh private
+    store per call (so neither ever hits its own cache).  The
+    ``single-host`` variant is the plain :class:`SweepEngine`; the
+    ``dist-2-workers`` variant stands up a real coordinator on an
+    ephemeral port plus two worker threads, so its delta over
+    single-host is the full price of distribution — leasing, job
+    serialization, HTTP round trips, streamed merge.
+    """
+    import tempfile
+    import threading
+
+    from repro.sweep import NullProgress, SweepEngine
+    from repro.sweep.store import ResultStore
+
+    spec = _dist_sweep_spec()
+
+    if kernel == "single-host":
+
+        def workload():
+            store = ResultStore(tempfile.mkdtemp(prefix="repro-bench-dist-"))
+            engine = SweepEngine(store=store, workers=1,
+                                 progress=NullProgress())
+            return engine.run_spec(spec)
+
+        return workload
+
+    from repro.dist import Coordinator, CoordinatorConfig, DistWorker
+    from repro.dist.coordinator import start_coordinator_in_thread
+
+    def workload():
+        cache = tempfile.mkdtemp(prefix="repro-bench-dist-")
+        coordinator = Coordinator(
+            spec,
+            CoordinatorConfig(port=0, shard_size=1, cache_dir=cache,
+                              exit_when_done=True),
+        )
+        handle = start_coordinator_in_thread(coordinator)
+        host, port = handle.address
+        workers = [
+            DistWorker(host, port, worker_id=f"bench-w{n}", poll_s=0.01)
+            for n in range(2)
+        ]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        handle.join()
+        return coordinator.aggregator.result()
+
+    return workload
+
+
 def _markov_build(kernel: str) -> Workload:
     """Stationary-distribution solves of the companion-TR Markov chain."""
     del kernel  # pure analysis: no simulation kernel involved
@@ -247,6 +319,16 @@ SCENARIOS: dict[str, BenchScenario] = {
             kernels=("reference",),
             repeats=5,
             warmup=1,
+        ),
+        BenchScenario(
+            name="dist-sweep",
+            description="the same uncached 4-cell campaign via the "
+            "in-process sweep engine vs a live coordinator + 2 worker "
+            "threads over HTTP (lease, execute, stream, merge)",
+            workload_events=4 * 6 * 60,
+            build=_dist_sweep_build,
+            kernels=("single-host", "dist-2-workers"),
+            repeats=3,
         ),
         BenchScenario(
             name="analysis-markov",

@@ -190,7 +190,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep", parents=[common],
         help="parallel parameter sweep with a persistent result cache; "
         "comma-separate a flag's values to sweep it "
-        "(e.g. -D 1,2,5 -N 5,10,20)",
+        "(e.g. -D 1,2,5 -N 5,10,20); 'repro sweep gc' compacts the cache",
+    )
+    sweep.add_argument(
+        "action", nargs="?", default="run", choices=["run", "gc"],
+        help="'run' (default) executes the sweep; 'gc' reclaims orphaned "
+        "temp files and stale campaign manifests from --cache-dir",
+    )
+    sweep.add_argument(
+        "--min-age", type=float, default=3600.0, metavar="SECONDS",
+        help="gc: only remove files older than this (default 3600; "
+        "protects in-flight writes of live sweeps)",
+    )
+    sweep.add_argument(
+        "--remove-completed", action="store_true",
+        help="gc: also remove campaign manifests whose every job is done",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be removed without deleting anything",
     )
     sweep.add_argument("-k", "--runs", default="25",
                        help="number of runs k (comma list to sweep)")
@@ -366,6 +384,82 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds a SIGTERM drain waits for in-flight work "
         "(default 10)",
     )
+
+    dist = sub.add_parser(
+        "dist",
+        help="distributed sweep execution: coordinator + pull workers "
+        "with crash-safe leases (see docs/DIST.md)",
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+    coordinate = dist_sub.add_parser(
+        "coordinate",
+        help="serve one campaign: shard the spec, lease shards to "
+        "workers, merge streamed results into the shared cache",
+    )
+    coordinate.add_argument(
+        "--spec", required=True, metavar="SPEC_JSON",
+        help="campaign spec file (the JSON form of a SweepSpec: name, "
+        "base, grid, trials, base_seed)",
+    )
+    coordinate.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default 127.0.0.1)")
+    coordinate.add_argument("--port", type=int, default=8178,
+                            help="bind port; 0 picks an ephemeral port")
+    coordinate.add_argument(
+        "--shard-size", type=int, default=4,
+        help="jobs per shard — the lease granularity (default 4)",
+    )
+    coordinate.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds a worker may stay silent before its shard is "
+        "re-issued (default 30)",
+    )
+    coordinate.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job SIGALRM budget relayed to workers (seconds)",
+    )
+    coordinate.add_argument(
+        "--retries", type=int, default=1,
+        help="per-job attempts workers make before reporting failure "
+        "(default 1)",
+    )
+    coordinate.add_argument(
+        "--cache-dir", default="results/cache",
+        help="content-addressed result store shared with 'repro sweep' "
+        "and 'repro serve' (default results/cache)",
+    )
+    coordinate.add_argument(
+        "--exit-when-done", action="store_true",
+        help="stop serving once every shard is settled (batch mode)",
+    )
+    coordinate.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the coordinator's lease-lifecycle trace to PATH "
+        "when the campaign ends",
+    )
+    work = dist_sub.add_parser(
+        "work",
+        help="pull-loop worker: lease shards, execute jobs through the "
+        "sweep worker path, stream results back",
+    )
+    work.add_argument("--host", default="127.0.0.1",
+                      help="coordinator address (default 127.0.0.1)")
+    work.add_argument("--port", type=int, default=8178,
+                      help="coordinator port (default 8178)")
+    work.add_argument("--id", default="worker",
+                      help="worker id (shows up in leases and metrics)")
+    work.add_argument(
+        "--poll", type=float, default=0.25,
+        help="seconds between lease attempts while all shards are "
+        "leased elsewhere (default 0.25)",
+    )
+    dist_status = dist_sub.add_parser(
+        "status",
+        help="print a running campaign's streaming-aggregation snapshot",
+    )
+    dist_status.add_argument("campaign", help="campaign name (spec name)")
+    dist_status.add_argument("--host", default="127.0.0.1")
+    dist_status.add_argument("--port", type=int, default=8178)
 
     lint = sub.add_parser(
         "lint",
@@ -793,6 +887,27 @@ def _export_trace(session, args) -> None:
         print_timeline(session, sys.stdout)
 
 
+def _cmd_sweep_gc(args: argparse.Namespace) -> int:
+    from repro.sweep.gc import collect_garbage
+    from repro.sweep.store import ResultStore
+
+    report = collect_garbage(
+        ResultStore(args.cache_dir),
+        min_age_s=args.min_age,
+        remove_completed_manifests=args.remove_completed,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc {args.cache_dir}: {verb} {len(report.tmp_removed)} orphaned "
+          f"temp file(s), {len(report.manifests_removed)} stale manifest(s) "
+          f"({report.bytes_freed} bytes)")
+    if report.skipped_young:
+        print(f"  {report.skipped_young} candidate(s) younger than "
+              f"{args.min_age:g}s left alone")
+    print(f"  {report.live_entries} live cache entries untouched")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.config import Table
     from repro.sweep import (
@@ -802,6 +917,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SweepEngine,
         SweepSpec,
     )
+
+    if args.action == "gc":
+        return _cmd_sweep_gc(args)
 
     # Swept axes: every comma-listed flag becomes a grid dimension (in
     # this fixed order); single values stay in the base config.
@@ -1130,6 +1248,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dist(args: argparse.Namespace) -> int:
+    if args.dist_command == "coordinate":
+        import asyncio
+        import json
+
+        from repro.dist import Coordinator, CoordinatorConfig
+        from repro.sweep import SweepSpec
+
+        try:
+            with open(args.spec) as handle:
+                spec = SweepSpec.from_dict(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            config = CoordinatorConfig(
+                host=args.host,
+                port=args.port,
+                shard_size=args.shard_size,
+                lease_ttl_s=args.lease_ttl,
+                job_timeout_s=args.job_timeout,
+                retries=args.retries,
+                cache_dir=args.cache_dir,
+                exit_when_done=args.exit_when_done,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        session = None
+        if args.trace_out is not None:
+            from repro.obs import TraceSession
+
+            session = TraceSession(name=f"dist-{spec.name}")
+        coordinator = Coordinator(spec, config, trace=session)
+
+        def announce() -> None:
+            counts = coordinator.leases.counts()
+            print(f"repro dist coordinating campaign {spec.name!r} on "
+                  f"http://{config.host}:{coordinator.port}")
+            print(f"  jobs    : {coordinator.aggregator.total} total, "
+                  f"{coordinator.aggregator.cached} already cached")
+            print(f"  shards  : {counts['pending']} pending x "
+                  f"{config.shard_size} job(s), lease TTL "
+                  f"{config.lease_ttl_s:g}s")
+            print(f"  cache   : {config.cache_dir}")
+            print("  workers : python -m repro dist work "
+                  f"--host {config.host} --port {coordinator.port}")
+
+        try:
+            asyncio.run(coordinator.run(on_ready=announce))
+        except KeyboardInterrupt:
+            print("interrupted before drain completed", file=sys.stderr)
+        if coordinator.aggregator.is_complete():
+            failed = coordinator.aggregator.failed
+            print(f"campaign {spec.name!r} complete: "
+                  f"{coordinator.aggregator.completed} job(s) ok, "
+                  f"{failed} failed")
+        if session is not None:
+            from repro.obs import write_trace
+
+            fmt = write_trace(session, args.trace_out)
+            print(f"coordinator trace written to {args.trace_out} ({fmt})")
+        return 1 if coordinator.aggregator.failed else 0
+    if args.dist_command == "work":
+        from repro.dist import DistWorker
+        from repro.serve import ServeError
+
+        worker = DistWorker(
+            args.host, args.port, worker_id=args.id, poll_s=args.poll
+        )
+        try:
+            stats = worker.run()
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            stats = worker.stats
+            print("interrupted; in-flight lease will expire and be "
+                  "re-issued", file=sys.stderr)
+        print(f"worker {args.id!r}: {stats.leases} lease(s), "
+              f"{stats.jobs_ok} job(s) ok, {stats.jobs_failed} failed, "
+              f"{stats.shards_lost} shard(s) lost to expiry")
+        return 0
+    if args.dist_command == "status":
+        import json
+
+        from repro.dist import CoordinatorClient
+        from repro.serve import ServeError
+
+        client = CoordinatorClient(args.host, args.port)
+        try:
+            snapshot = client.campaign(args.campaign)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    raise AssertionError(f"unhandled dist command {args.dist_command}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "validate":
         from repro.obs import validate_chrome_trace_file
@@ -1181,6 +1400,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "dist":
+        return _cmd_dist(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "lint":

@@ -1,0 +1,81 @@
+"""Shard expansion: contiguous job slices of a campaign.
+
+A shard is the lease granularity — the unit of work a worker checks
+out, executes, and streams back in one ``complete`` call.  Shards are
+contiguous slices of the spec's deterministic job order
+(:meth:`repro.sweep.spec.SweepSpec.jobs`), so shard membership is a
+pure function of ``(spec, shard_size, cached-key set)`` and every
+coordinator restart re-derives identical shards for the identical
+remaining work.
+
+Jobs cross the wire as plain dicts (``job_wire``/``job_from_wire``):
+the worker side rebuilds exactly the payload
+:func:`repro.sweep.worker.execute_job` expects, so the serialization
+is pinned by the sweep cache-key tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sweep.spec import SweepJob
+
+#: Default jobs per shard (lease granularity).
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One leaseable slice of the campaign's job list."""
+
+    shard_id: str
+    jobs: tuple[SweepJob, ...]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def make_shards(
+    jobs: Sequence[SweepJob], shard_size: int = DEFAULT_SHARD_SIZE
+) -> list[Shard]:
+    """Slice ``jobs`` (already in deterministic order) into shards."""
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    shards = []
+    for start in range(0, len(jobs), shard_size):
+        chunk = tuple(jobs[start:start + shard_size])
+        shards.append(Shard(shard_id=f"shard-{len(shards):04d}", jobs=chunk))
+    return shards
+
+
+def job_wire(job: SweepJob) -> dict:
+    """The JSON form of one job handed to a worker."""
+    from repro.sweep.keys import config_to_dict
+
+    return {
+        "index": job.index,
+        "cell": job.cell,
+        "trial": job.trial,
+        "config": config_to_dict(job.config),
+        "key": job.key,
+    }
+
+
+def job_from_wire(data: dict) -> dict:
+    """Validate a wire job back into an ``execute_job``-shaped dict.
+
+    The worker never rebuilds a :class:`SweepJob` (it has no use for
+    the typed config); it only needs the serialized config, the trial,
+    and the bookkeeping fields.
+    """
+    for field in ("index", "cell", "trial", "config", "key"):
+        if field not in data:
+            raise ValueError(f"wire job missing {field!r}")
+    return {
+        "index": data["index"],
+        "cell": data["cell"],
+        "trial": data["trial"],
+        "config": data["config"],
+        "key": data["key"],
+    }

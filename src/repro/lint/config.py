@@ -41,7 +41,8 @@ class LintConfig:
     #: Simulation modules: no wall clocks, OS entropy, or global RNG.
     determinism_modules: list[str] = field(default_factory=lambda: [
         "repro/sim", "repro/core", "repro/disks", "repro/faults",
-        "repro/workloads", "repro/obs", "repro/serve",
+        "repro/workloads", "repro/obs", "repro/serve", "repro/dist",
+        "repro/netutil.py",
     ])
     #: The blessed randomness module itself (and any other exemptions);
     #: repro/serve/clock.py is the service's one injected wall-clock
@@ -76,7 +77,7 @@ class LintConfig:
     #: Worker/retry code where a broad ``except`` needs a baseline entry.
     broad_except_modules: list[str] = field(default_factory=lambda: [
         "repro/sweep", "repro/experiments/runner.py", "repro/faults",
-        "repro/serve",
+        "repro/serve", "repro/dist",
     ])
 
     # -- RPR009 deprecated override shims ------------------------------------

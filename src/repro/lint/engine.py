@@ -28,8 +28,25 @@ PARSE_ERROR_RULE = "RPR000"
 
 #: Directory names never descended into.
 _SKIPPED_DIRS = frozenset({
-    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist",
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache",
 })
+
+#: Build-artifact directory names: skipped only when they are NOT
+#: Python packages, so a source package that happens to be called
+#: ``dist`` or ``build`` (e.g. ``repro/dist``) still gets linted.
+_ARTIFACT_DIRS = frozenset({"build", "dist"})
+
+
+def _is_skipped(path: Path) -> bool:
+    parts = path.parts
+    for index, part in enumerate(parts):
+        if part in _SKIPPED_DIRS:
+            return True
+        if part in _ARTIFACT_DIRS:
+            directory = Path(*parts[: index + 1])
+            if not (directory / "__init__.py").is_file():
+                return True
+    return False
 
 
 @dataclass
@@ -83,7 +100,7 @@ class LintEngine:
                 candidates = sorted(
                     candidate
                     for candidate in path.rglob("*.py")
-                    if not _SKIPPED_DIRS & set(candidate.parts)
+                    if not _is_skipped(candidate)
                 )
             else:
                 raise FileNotFoundError(f"lint path does not exist: {entry}")

@@ -1,0 +1,104 @@
+"""Shared asyncio HTTP/1.1 plumbing for the repo's JSON services.
+
+Both network subsystems — :mod:`repro.serve` (the simulation front
+door) and :mod:`repro.dist` (the distributed sweep coordinator) —
+speak the same deliberately minimal HTTP/1.1 dialect: one request per
+connection (request line, headers, ``Content-Length`` body), JSON
+bodies both ways, ``Connection: close`` responses.  This module owns
+that dialect so the two servers share one implementation instead of
+two drifting copies; it is pure plumbing and must stay free of wall
+clocks, routing policy, and anything simulation-specific.
+
+Extracted verbatim from ``serve/server.py`` (PR 6); the serve e2e
+suite pins the behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Optional
+
+#: Reason phrases for every status the repo's services emit.
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    410: "Gone", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: How long a header+body read may take before the connection is dropped.
+READ_TIMEOUT_S = 30.0
+
+#: Exceptions that mean "the peer went away or sent garbage": there is
+#: nobody left to answer, so handlers just drop the connection.
+REQUEST_READ_ERRORS = (
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+    ConnectionError,
+    ValueError,
+)
+
+#: A parsed request: ``(method, target, headers, body)``; ``body`` is
+#: ``None`` when Content-Length exceeded the caller's limit (413).
+ParsedRequest = tuple[str, str, dict, Optional[bytes]]
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int
+) -> Optional[ParsedRequest]:
+    """Read one HTTP/1.1 request off ``reader``.
+
+    Returns ``None`` on an empty request line (peer connected and went
+    away), raises ``ValueError`` on a malformed request line, and
+    signals an oversized body by returning ``body=None`` so the caller
+    can answer 413 instead of buffering the payload.
+    """
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) != 3:
+        raise ValueError("malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body_bytes:
+        return method, target, headers, None  # signals 413 downstream
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def write_json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    extra_headers: Optional[dict] = None,
+) -> None:
+    """Serialize ``payload`` as the whole JSON answer and close-drain."""
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+    with contextlib.suppress(ConnectionError):
+        await writer.drain()
+
+
+def method_not_allowed(allowed: str) -> tuple[int, dict, dict]:
+    """The uniform 405 answer: ``(status, body, extra_headers)``."""
+    return 405, {"error": "method-not-allowed",
+                 "detail": f"use {allowed}"}, {"Allow": allowed}

@@ -43,6 +43,17 @@ class EventKind(enum.Enum):
     * ``DRIVE_DEGRADED``: the planner skipped a degraded drive.
     * ``DEMAND_TIMEOUT``: a demand stall exceeded its timeout and the
       stalled requests were escalated at their drives.
+
+    Coordinator instants (``repro.dist``; wall-clock ms from the
+    injected Clock seam on the ``"coordinator"`` track, not virtual
+    simulation time):
+
+    * ``LEASE_GRANTED``: a shard lease handed to a worker.
+    * ``LEASE_RENEWED``: a heartbeat extended a live lease.
+    * ``LEASE_EXPIRED``: a lease outlived its TTL and its shard was
+      returned to the pending pool (the crash-recovery path).
+    * ``SHARD_COMPLETE``: a worker streamed a shard's results back and
+      the shard was settled.
     """
 
     DEMAND_FETCH = "demand-fetch"
@@ -58,6 +69,10 @@ class EventKind(enum.Enum):
     FAULT = "fault"
     DRIVE_DEGRADED = "drive-degraded"
     DEMAND_TIMEOUT = "demand-timeout"
+    LEASE_GRANTED = "lease-granted"
+    LEASE_RENEWED = "lease-renewed"
+    LEASE_EXPIRED = "lease-expired"
+    SHARD_COMPLETE = "shard-complete"
 
 
 #: Kinds whose per-drive span durations partition the drive's busy time.

@@ -35,6 +35,10 @@ _CATEGORIES = {
     EventKind.FAULT: "faults",
     EventKind.DRIVE_DEGRADED: "faults",
     EventKind.DEMAND_TIMEOUT: "faults",
+    EventKind.LEASE_GRANTED: "dist",
+    EventKind.LEASE_RENEWED: "dist",
+    EventKind.LEASE_EXPIRED: "dist",
+    EventKind.SHARD_COMPLETE: "dist",
 }
 
 
@@ -171,6 +175,10 @@ _TIMELINE_MARKS = {
     EventKind.FAULT: "!",
     EventKind.DRIVE_DEGRADED: "x",
     EventKind.DEMAND_TIMEOUT: "T",
+    EventKind.LEASE_GRANTED: "L",
+    EventKind.LEASE_RENEWED: "h",
+    EventKind.LEASE_EXPIRED: "e",
+    EventKind.SHARD_COMPLETE: "C",
 }
 
 #: Kinds that win when several map onto the same timeline cell
@@ -189,6 +197,12 @@ _MARK_PRIORITY = (
     EventKind.DRIVE_DEGRADED,
     EventKind.DEMAND_TIMEOUT,
     EventKind.FAULT,
+    # Coordinator instants: never share a track with simulation events,
+    # but ordered here (expiry over renewals) for completeness.
+    EventKind.LEASE_GRANTED,
+    EventKind.LEASE_RENEWED,
+    EventKind.SHARD_COMPLETE,
+    EventKind.LEASE_EXPIRED,
 )
 _PRIORITY = {kind: rank for rank, kind in enumerate(_MARK_PRIORITY)}
 

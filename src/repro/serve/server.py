@@ -48,6 +48,13 @@ from typing import Callable, Optional
 
 from repro.core.metrics import AggregateMetrics, MergeMetrics
 from repro.core.parameters import SimulationConfig
+from repro.netutil import (
+    READ_TIMEOUT_S,
+    REQUEST_READ_ERRORS,
+    method_not_allowed,
+    read_http_request,
+    write_json_response,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.serve.cache import CacheFront
 from repro.serve.clock import Clock, monotonic_clock
@@ -69,23 +76,12 @@ from repro.sweep.spec import SweepSpec
 from repro.sweep.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.sweep.worker import execute_job
 
-#: Reason phrases for the statuses this server emits.
-_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
-}
-
 #: Latency histogram buckets (ms): sub-millisecond cache hits through
 #: multi-second simulations.
 _LATENCY_BUCKETS_MS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
     500.0, 1000.0, 2500.0, 5000.0, 10000.0,
 )
-
-#: How long a header+body read may take before the connection is dropped.
-_READ_TIMEOUT_S = 30.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -247,10 +243,10 @@ class SimulationServer:
     ) -> None:
         try:
             parsed = await asyncio.wait_for(
-                self._read_request(reader), _READ_TIMEOUT_S
+                read_http_request(reader, max_body_bytes=MAX_BODY_BYTES),
+                READ_TIMEOUT_S,
             )
-        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
-                ConnectionError, ValueError):
+        except REQUEST_READ_ERRORS:
             return  # unparseable or abandoned connection: nothing to answer
         if parsed is None:
             return
@@ -271,48 +267,7 @@ class SimulationServer:
         self.metrics.histogram(
             "serve_latency_ms", bounds=_LATENCY_BUCKETS_MS, endpoint=endpoint
         ).observe((self.clock() - start) * 1000.0)
-        await self._write_response(writer, status, payload, extra)
-
-    async def _read_request(self, reader: asyncio.StreamReader):
-        request_line = await reader.readline()
-        if not request_line.strip():
-            return None
-        parts = request_line.decode("ascii", "replace").split()
-        if len(parts) != 3:
-            raise ValueError("malformed request line")
-        method, target, _version = parts
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
-            return method, target, headers, None  # signals 413 downstream
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: dict,
-        extra_headers: dict,
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in extra_headers.items():
-            lines.append(f"{name}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
-        with contextlib.suppress(ConnectionError):
-            await writer.drain()
+        await write_json_response(writer, status, payload, extra)
 
     # -- routing -------------------------------------------------------------
 
@@ -327,31 +282,26 @@ class SimulationServer:
                          "detail": f"body exceeds {MAX_BODY_BYTES} bytes"}, {}
         if path == "/v1/healthz":
             if method != "GET":
-                return self._method_not_allowed("GET")
+                return method_not_allowed("GET")
             return 200, self._health_body(), {}
         if path == "/v1/metricz":
             if method != "GET":
-                return self._method_not_allowed("GET")
+                return method_not_allowed("GET")
             self._refresh_gauges()
             return 200, self.metrics.to_dict(), {}
         if path.startswith("/v1/jobs/"):
             if method != "GET":
-                return self._method_not_allowed("GET")
+                return method_not_allowed("GET")
             return self._job_status(path.removeprefix("/v1/jobs/"))
         if path == "/v1/simulate":
             if method != "POST":
-                return self._method_not_allowed("POST")
+                return method_not_allowed("POST")
             return await self._handle_simulate(headers, body)
         if path == "/v1/sweep":
             if method != "POST":
-                return self._method_not_allowed("POST")
+                return method_not_allowed("POST")
             return self._handle_sweep(headers, body)
         return 404, {"error": "not-found", "detail": f"no route for {path}"}, {}
-
-    @staticmethod
-    def _method_not_allowed(allowed: str) -> tuple[int, dict, dict]:
-        return 405, {"error": "method-not-allowed",
-                     "detail": f"use {allowed}"}, {"Allow": allowed}
 
     def _health_body(self) -> dict:
         return {

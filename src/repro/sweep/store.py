@@ -57,7 +57,16 @@ def lookup(
     return store.get(compute_key(config, trial))
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON at ``path`` via temp file + ``os.replace``.
+
+    The store's one write primitive, shared by trial entries, campaign
+    manifests, and the dist coordinator's shard checkpoints: a reader
+    never observes a truncated file, and a crash mid-write leaves only
+    an orphaned ``*<key>.json*.tmp`` sibling (reclaimed by
+    :func:`repro.sweep.gc.collect_garbage` — live entries always end in
+    ``.json``, so the ``*.tmp`` namespace is exclusively garbage).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
@@ -70,6 +79,10 @@ def _atomic_write_json(path: Path, payload: dict) -> None:
         except OSError:
             pass
         raise
+
+
+#: Backward-compat spelling (pre-GC internal name).
+_atomic_write_json = atomic_write_json
 
 
 class ResultStore:
@@ -145,6 +158,17 @@ class ResultStore:
                 pass
         return removed
 
+    def tmp_files(self) -> Iterator[Path]:
+        """Orphaned ``*.tmp`` files left by crashed atomic writes.
+
+        Live entries always end in ``.json`` (trials, manifests), so
+        anything matching ``*.tmp`` anywhere under the root — shard
+        directories and ``campaigns/`` alike — is reclaimable garbage.
+        """
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.rglob("*.tmp"))
+
 
 class CampaignManifest:
     """Checkpoint file for one named sweep campaign.
@@ -199,11 +223,29 @@ class CampaignManifest:
         self._state["updated_at"] = time.time()
         self._flush()
 
+    def record_shard(self, shard_id: str, status: str, **fields) -> None:
+        """Checkpoint one dist shard (``pending``/``leased``/``done``).
+
+        Shard records live alongside the per-key job statuses so an
+        interrupted distributed campaign shows *which contiguous job
+        ranges* were in flight, not just which keys finished; extra
+        ``fields`` (worker id, job range) are stored verbatim.
+        """
+        shards = self._state.setdefault("shards", {})
+        shards[shard_id] = {"status": status, **fields}
+        self._state["updated_at"] = time.time()
+        self._flush()
+
     def counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
         for status in self._state.get("jobs", {}).values():
             counts[status] = counts.get(status, 0) + 1
         return counts
 
+    def is_complete(self) -> bool:
+        """True when every recorded job reached ``done``."""
+        jobs = self._state.get("jobs", {})
+        return bool(jobs) and all(s == "done" for s in jobs.values())
+
     def _flush(self) -> None:
-        _atomic_write_json(self.path, self._state)
+        atomic_write_json(self.path, self._state)

@@ -1,0 +1,81 @@
+"""Streaming aggregation: order-independence and partial snapshots."""
+
+import pytest
+
+from repro.core.simulator import MergeSimulation
+from repro.dist.aggregate import CampaignAggregator
+from repro.sweep.spec import SweepSpec
+
+SPEC = SweepSpec(
+    name="agg",
+    base={"num_runs": 4, "blocks_per_run": 10},
+    grid={"num_disks": [1, 2]},
+    trials=2,
+    base_seed=9,
+)
+
+
+def _metrics_for(aggregator):
+    """Real metrics for every job (tiny configs, miliseconds each)."""
+    return {
+        job.index: MergeSimulation(job.config).run_trial(trial=job.trial)
+        for job in aggregator.jobs
+    }
+
+
+def test_out_of_order_completion_matches_serial_order():
+    forward = CampaignAggregator(SPEC)
+    backward = CampaignAggregator(SPEC)
+    results = _metrics_for(forward)
+    for index in sorted(results):
+        forward.record(index, results[index])
+    for index in sorted(results, reverse=True):
+        backward.record(index, results[index])
+    assert [a.to_dict() for a in forward.result()] == [
+        a.to_dict() for a in backward.result()
+    ]
+
+
+def test_partial_snapshot_counts_and_cells():
+    aggregator = CampaignAggregator(SPEC)
+    results = _metrics_for(aggregator)
+    aggregator.record(0, results[0], cached=True)
+    aggregator.record(3, results[3])
+    snapshot = aggregator.snapshot()
+    assert snapshot["campaign"] == "agg"
+    assert snapshot["jobs"] == {
+        "total": 4, "completed": 2, "cached": 1, "failed": 0, "in_flight": 2,
+    }
+    assert not snapshot["complete"]
+    # Partial cells still render: cell 0 has 1 of 2 trials so far.
+    assert len(snapshot["cells"]) == 2
+    assert len(snapshot["cells"][0]["trials"]) == 1
+
+
+def test_failures_tracked_and_complete():
+    aggregator = CampaignAggregator(SPEC)
+    results = _metrics_for(aggregator)
+    for index in (0, 1, 2):
+        aggregator.record(index, results[index])
+    aggregator.record_failure(3, "ValueError: boom")
+    assert aggregator.is_complete()
+    assert aggregator.failed == 1
+    snapshot = aggregator.snapshot()
+    assert snapshot["failures"] == {"3": "ValueError: boom"}
+    # A late success overrides the failure (a retried shard landed).
+    aggregator.record(3, results[3])
+    assert aggregator.failed == 0
+
+
+def test_record_is_idempotent():
+    aggregator = CampaignAggregator(SPEC)
+    results = _metrics_for(aggregator)
+    aggregator.record(0, results[0])
+    aggregator.record(0, results[0])  # duplicate shard completion
+    assert aggregator.completed == 1
+
+
+def test_unknown_index_rejected():
+    aggregator = CampaignAggregator(SPEC)
+    with pytest.raises(KeyError):
+        aggregator.record_failure(99, "nope")

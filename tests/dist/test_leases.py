@@ -1,0 +1,144 @@
+"""The lease state machine under a hand-cranked clock."""
+
+import pytest
+
+from repro.dist.leases import LeaseError, LeaseManager
+from repro.dist.shards import make_shards
+from repro.sweep.spec import SweepSpec
+
+from tests.dist.conftest import FakeClock
+
+SPEC = SweepSpec(
+    name="leases",
+    base={"num_runs": 4, "blocks_per_run": 10},
+    grid={"num_disks": [1, 2]},
+    trials=2,
+    base_seed=3,
+)
+
+
+def manager(ttl_s=10.0, shard_size=2, clock=None):
+    clock = clock or FakeClock()
+    shards = make_shards(SPEC.jobs(), shard_size)
+    return LeaseManager(shards, ttl_s=ttl_s, clock=clock), clock
+
+
+def test_acquire_hands_out_shards_in_order():
+    mgr, _ = manager()
+    first = mgr.acquire("w1")
+    second = mgr.acquire("w2")
+    assert first.shard.shard_id == "shard-0000"
+    assert second.shard.shard_id == "shard-0001"
+    assert first.token != second.token
+    assert mgr.acquire("w3") is None  # everything leased
+    assert mgr.counts() == {"pending": 0, "leased": 2, "done": 0}
+
+
+def test_complete_settles_and_campaign_finishes():
+    mgr, _ = manager()
+    tokens = [mgr.acquire("w").token for _ in range(2)]
+    for token in tokens:
+        shard, duplicate = mgr.complete(token)
+        assert not duplicate
+    assert mgr.done
+    assert mgr.counts() == {"pending": 0, "leased": 0, "done": 2}
+
+
+def test_expiry_returns_shard_to_front_of_pool():
+    mgr, clock = manager(ttl_s=5.0)
+    lease = mgr.acquire("crashed")
+    clock.advance(5.1)
+    records = mgr.sweep_expired()
+    assert [r.shard_id for r in records] == ["shard-0000"]
+    assert records[0].worker == "crashed"
+    # The reclaimed shard is re-issued before untouched ones.
+    reissued = mgr.acquire("w2")
+    assert reissued.shard.shard_id == "shard-0000"
+    assert reissued.token != lease.token
+    assert mgr.expired_total == 1
+
+
+def test_heartbeat_extends_ttl():
+    mgr, clock = manager(ttl_s=5.0)
+    lease = mgr.acquire("w1")
+    clock.advance(4.0)
+    renewed = mgr.heartbeat(lease.token)
+    assert renewed.renewals == 1
+    clock.advance(4.0)  # 8s since grant, but only 4s since renewal
+    assert mgr.heartbeat(lease.token) is lease
+    assert mgr.counts()["leased"] == 1
+
+
+def test_heartbeat_after_expiry_is_lease_lost():
+    mgr, clock = manager(ttl_s=5.0)
+    lease = mgr.acquire("w1")
+    clock.advance(5.1)
+    with pytest.raises(LeaseError) as excinfo:
+        mgr.heartbeat(lease.token)
+    assert excinfo.value.code == "lease-lost"
+
+
+def test_heartbeat_unknown_token():
+    mgr, _ = manager()
+    with pytest.raises(LeaseError) as excinfo:
+        mgr.heartbeat("lease-999999")
+    assert excinfo.value.code == "unknown-token"
+
+
+def test_complete_with_expired_token_still_settles():
+    """A worker that outlived its lease still did correct work."""
+    mgr, clock = manager(ttl_s=5.0)
+    lease = mgr.acquire("slow")
+    clock.advance(5.1)
+    shard, duplicate = mgr.complete(lease.token)
+    assert not duplicate
+    assert mgr.counts()["done"] == 1
+    # The shard never goes back to pending after settling.
+    next_lease = mgr.acquire("w2")
+    assert next_lease.shard.shard_id == "shard-0001"
+
+
+def test_duplicate_completion_is_idempotent():
+    mgr, clock = manager(ttl_s=5.0)
+    first = mgr.acquire("slow")
+    clock.advance(5.1)
+    second = mgr.acquire("fast")  # re-issue of the expired shard
+    assert second.shard.shard_id == first.shard.shard_id
+    _, duplicate = mgr.complete(second.token)
+    assert not duplicate
+    _, duplicate = mgr.complete(first.token)  # the zombie reports late
+    assert duplicate
+    assert mgr.duplicate_total == 1
+    assert mgr.counts()["done"] == 1
+
+
+def test_late_completion_revokes_reissued_lease():
+    """The first finisher wins; the re-issued lease dies quietly."""
+    mgr, clock = manager(ttl_s=5.0)
+    first = mgr.acquire("slow")
+    clock.advance(5.1)
+    second = mgr.acquire("fast")
+    _, duplicate = mgr.complete(first.token)  # zombie finishes FIRST
+    assert not duplicate
+    _, duplicate = mgr.complete(second.token)
+    assert duplicate
+    with pytest.raises(LeaseError):
+        mgr.heartbeat(second.token)
+
+
+def test_complete_unknown_token():
+    mgr, _ = manager()
+    with pytest.raises(LeaseError) as excinfo:
+        mgr.complete("lease-424242")
+    assert excinfo.value.code == "unknown-token"
+
+
+def test_ttl_must_be_positive():
+    with pytest.raises(ValueError):
+        LeaseManager([], ttl_s=0.0)
+
+
+def test_empty_campaign_is_done():
+    mgr = LeaseManager([], ttl_s=1.0, clock=FakeClock())
+    assert mgr.done
+    assert mgr.acquire("w") is None

@@ -73,6 +73,21 @@ def test_collection_skips_caches_and_deduplicates(tmp_path):
     assert "__pycache__" not in {part for p in files for part in p.parts}
 
 
+def test_a_source_package_named_dist_is_not_a_build_artifact(tmp_path):
+    # `dist/` and `build/` are skipped as packaging output — unless they
+    # are real Python packages (repro/dist is one). The __init__.py is
+    # the discriminator.
+    engine = _project(tmp_path, {
+        "src/repro/dist/__init__.py": "",
+        "src/repro/dist/leases.py": "VALUE = 1\n",
+        "dist/repro-0.1-py3-none-any/junk.py": "VALUE = 2\n",
+        "build/lib/other.py": "VALUE = 3\n",
+    })
+    files = engine.collect_files(["src", "dist", "build"])
+    names = sorted(path.name for path in files)
+    assert names == ["__init__.py", "leases.py"]
+
+
 def test_findings_come_out_sorted_by_path_then_line(tmp_path):
     engine = _project(tmp_path, {
         "src/repro/sim/b.py": "import time\nNOW = time.time()\n",

@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast lint sweep-smoke serve-smoke dist-smoke bench bench-smoke bench-pytest obs-smoke check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sweep-smoke serve-smoke dist-smoke bench bench-smoke bench-pytest obs-smoke realio-smoke check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -62,6 +62,22 @@ bench-smoke:
 obs-smoke:
 	$(PYTHON) -m repro run merge-d5 --trace-out results/obs/merge-d5.json
 	$(PYTHON) -m repro trace validate results/obs/merge-d5.json
+
+# The full sim-vs-real loop on a temp-filesystem dataset: run both
+# strategies through the real-I/O backend with tracing, validate the
+# trace artifact, check the calibrated simulator agrees on strategy
+# ordering (exits non-zero on DISAGREE), and guard the realio-sort
+# bench scenario against its committed baseline.  What CI's
+# realio-smoke job runs; report + trace land in results/realio/.
+realio-smoke:
+	$(PYTHON) -m repro realio validate --dir results/realio/dataset \
+		--throttle 0.2 --trials 2 \
+		--report results/realio/realio-report.json \
+		--trace-out results/realio/realio-trace.json
+	$(PYTHON) -m repro trace validate results/realio/realio-trace.json
+	$(PYTHON) -m repro bench run --scenario realio-sort --out-dir results/bench
+	$(PYTHON) -m repro bench compare BENCH_realio-sort.json \
+		results/bench/BENCH_realio-sort.json --threshold 2.0
 
 # The pytest-benchmark suite (paper-artifact regeneration timings).
 bench-pytest:

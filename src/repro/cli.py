@@ -461,6 +461,108 @@ def _build_parser() -> argparse.ArgumentParser:
     dist_status.add_argument("--host", default="127.0.0.1")
     dist_status.add_argument("--port", type=int, default=8178)
 
+    realio = sub.add_parser(
+        "realio",
+        help="real-I/O strategy backend: run the paper's prefetch "
+        "strategies against real files, calibrate effective disk "
+        "constants, and validate the simulator (see docs/REALIO.md)",
+    )
+    realio_sub = realio.add_subparsers(dest="realio_command", required=True)
+
+    def _realio_dataset_args(command) -> None:
+        command.add_argument(
+            "--dir", default="results/realio/dataset",
+            help="dataset directory (default results/realio/dataset); "
+            "generated on demand if missing",
+        )
+        command.add_argument("-k", "--runs", type=int, default=8,
+                             help="runs when generating (default 8)")
+        command.add_argument("-D", "--disks", type=int, default=2,
+                             help="disks when generating (default 2)")
+        command.add_argument("--blocks", type=int, default=32,
+                             help="blocks per run when generating "
+                             "(default 32)")
+        command.add_argument("--seed", type=int, default=1992,
+                             help="base seed (default 1992)")
+
+    def _realio_trace_args(command) -> None:
+        command.add_argument(
+            "--trace", action="store_true",
+            help="collect a structured trace (repro.obs) and print a "
+            "text timeline",
+        )
+        command.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write the collected trace to PATH (.json = Chrome "
+            "trace_event, .jsonl = flat event log); implies --trace",
+        )
+
+    realio_gen = realio_sub.add_parser(
+        "gen", help="generate a sorted-run dataset on real storage"
+    )
+    _realio_dataset_args(realio_gen)
+
+    realio_run = realio_sub.add_parser(
+        "run", help="merge a dataset's runs under one prefetch strategy"
+    )
+    _realio_dataset_args(realio_run)
+    _realio_trace_args(realio_run)
+    realio_run.add_argument(
+        "--strategy", choices=[s.value for s in PrefetchStrategy],
+        default=PrefetchStrategy.INTRA_RUN.value,
+    )
+    realio_run.add_argument("-N", "--depth", type=int, default=4,
+                            help="prefetch depth N (default 4)")
+    realio_run.add_argument("--trials", type=int, default=1)
+    realio_run.add_argument("--cache", type=int, default=None,
+                            help="buffer pool capacity in blocks "
+                            "(default: the strategy's natural size)")
+    realio_run.add_argument(
+        "--throttle", type=float, default=0.0, metavar="MS",
+        help="emulated per-block device time in ms (default 0 = "
+        "native speed)",
+    )
+    realio_run.add_argument("--out", default=None,
+                            help="also write the merged output to this "
+                            "run file")
+
+    realio_calibrate = realio_sub.add_parser(
+        "calibrate",
+        help="probe the dataset's storage and fit effective (S, R, T)",
+    )
+    _realio_dataset_args(realio_calibrate)
+    realio_calibrate.add_argument("--rounds", type=int, default=4,
+                                  help="probe rounds (default 4)")
+    realio_calibrate.add_argument(
+        "--throttle", type=float, default=0.0, metavar="MS",
+        help="emulated per-block device time in ms",
+    )
+    realio_calibrate.add_argument("--json", default=None, metavar="PATH",
+                                  help="also write the report as JSON")
+
+    realio_validate = realio_sub.add_parser(
+        "validate",
+        help="measure strategies on the real backend, re-simulate under "
+        "fitted constants, and check the orderings agree",
+    )
+    _realio_dataset_args(realio_validate)
+    _realio_trace_args(realio_validate)
+    realio_validate.add_argument("-N", "--depth", type=int, default=4,
+                                 help="prefetch depth N (default 4)")
+    realio_validate.add_argument("--trials", type=int, default=3)
+    realio_validate.add_argument(
+        "--throttle", type=float, default=0.2, metavar="MS",
+        help="emulated per-block device time in ms (default 0.2; keeps "
+        "the comparison I/O-bound even on tmpfs)",
+    )
+    realio_validate.add_argument("--report", default=None, metavar="PATH",
+                                 help="write the validation report JSON")
+    realio_validate.add_argument(
+        "--strict", action="store_true",
+        help="also require total-time ordering agreement (flaky on "
+        "page-cache-fast storage; off by default)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="static analysis enforcing the repo's determinism, hot-path, "
@@ -1190,6 +1292,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline = BenchReport.load(args.baseline)
             current = BenchReport.load(args.current)
             rows = compare_reports(baseline, current, threshold=args.threshold)
+        except FileNotFoundError as exc:
+            missing = exc.filename or str(exc)
+            print(f"error: no baseline report at {missing}; run "
+                  f"`repro bench run` first to create it", file=sys.stderr)
+            return 2
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -1202,6 +1309,149 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("\nno regressions")
         return 0
     raise AssertionError(f"unhandled bench command {args.bench_command}")
+
+
+def _realio_dataset(args) -> "object":
+    """Load the dataset under ``--dir``, generating it if absent."""
+    from pathlib import Path
+
+    from repro.realio import dataset_exists, generate_dataset, load_dataset
+
+    root = Path(args.dir)
+    if dataset_exists(root):
+        return load_dataset(root)
+    print(f"generating dataset at {root} "
+          f"(k={args.runs} D={args.disks} {args.blocks} blocks/run)")
+    return generate_dataset(
+        root,
+        num_runs=args.runs,
+        num_disks=args.disks,
+        blocks_per_run=args.blocks,
+        seed=args.seed,
+    )
+
+
+def _realio_busy_check(session, trials, first_trial: int) -> bool:
+    """The obs-smoke invariant on real traces: spans == DriveStats.busy_ms."""
+    worst = 0.0
+    for index, metrics in enumerate(trials):
+        trial = session.trials[first_trial + index]
+        for disk, stats in enumerate(metrics.drive_stats):
+            worst = max(
+                worst, abs(trial.service_busy_ms(disk) - stats.busy_ms)
+            )
+    if worst > 1e-6:
+        print(f"error: trace busy spans drift from DriveStats.busy_ms "
+              f"by {worst:.3e} ms", file=sys.stderr)
+        return False
+    print("trace check   : per-drive busy spans match "
+          "DriveStats.busy_ms (<= 1e-6 ms)")
+    return True
+
+
+def _cmd_realio(args: argparse.Namespace) -> int:
+    if args.realio_command == "gen":
+        dataset = _realio_dataset(args)
+        print(f"dataset ready : {dataset.describe()}")
+        return 0
+
+    if args.realio_command == "run":
+        from repro.core.parameters import PrefetchStrategy
+        from repro.realio import RealIOConfig, run_real_merge
+
+        dataset = _realio_dataset(args)
+        config = RealIOConfig(
+            strategy=PrefetchStrategy(args.strategy),
+            prefetch_depth=args.depth,
+            cache_capacity=args.cache,
+            throttle_ms_per_block=args.throttle,
+        )
+        session = _trace_session(args, "realio")
+        try:
+            outcome = run_real_merge(
+                dataset,
+                config,
+                trials=args.trials,
+                base_seed=args.seed,
+                session=session,
+                output_path=args.out,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        mean = outcome.aggregate
+        print(f"configuration : {config.describe(dataset)}")
+        print(f"records merged: {outcome.records_merged} "
+              f"(sorted: {'yes' if outcome.sorted_ok else 'NO'})")
+        print(f"total time    : {mean.total_time_s.mean * 1000:.2f} ms "
+              f"over {args.trials} trial(s)")
+        print(f"demand stalls : {mean.cpu_stall_s.mean * 1000:.2f} ms")
+        if args.out:
+            print(f"output written: {args.out}")
+        ok = outcome.sorted_ok
+        if session is not None:
+            ok = _realio_busy_check(session, outcome.trials, 0) and ok
+        _export_trace(session, args)
+        return 0 if ok else 1
+
+    if args.realio_command == "calibrate":
+        import json as json_module
+
+        from repro.realio import calibrate
+
+        dataset = _realio_dataset(args)
+        report = calibrate(
+            dataset,
+            rounds=args.rounds,
+            seed=args.seed,
+            throttle_ms_per_block=args.throttle,
+        )
+        print(report.render())
+        if args.json:
+            from pathlib import Path
+
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json_module.dumps(report.to_dict(), indent=2) + "\n"
+            )
+            print(f"report written to {path}")
+        return 0
+
+    if args.realio_command == "validate":
+        from repro.realio import run_validation
+
+        dataset = _realio_dataset(args)
+        session = _trace_session(args, "realio-validate")
+        report = run_validation(
+            dataset,
+            prefetch_depth=args.depth,
+            trials=args.trials,
+            base_seed=args.seed,
+            throttle_ms_per_block=args.throttle,
+            session=session,
+        )
+        print(report.render())
+        ok = report.agrees
+        if args.strict and not report.total_ordering_agrees:
+            ok = False
+        if session is not None:
+            # run_validation already cross-checked every real-backend
+            # trial's service spans against DriveStats.busy_ms (it
+            # raises on drift); the simulator side runs untraced.
+            print("trace check   : per-drive busy spans match "
+                  "DriveStats.busy_ms (<= 1e-6 ms)")
+            _export_trace(session, args)
+        if args.report:
+            from pathlib import Path
+
+            path = Path(args.report)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            report.save(path)
+            print(f"report written to {path}")
+        return 0 if ok else 1
+
+    raise AssertionError(f"unhandled realio command {args.realio_command}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1402,6 +1652,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "dist":
         return _cmd_dist(args)
+    if args.command == "realio":
+        return _cmd_realio(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "lint":

@@ -30,9 +30,16 @@ import threading
 from typing import Optional
 
 from repro.dist.client import CoordinatorClient, is_lease_lost
-from repro.serve.client import ServeError, ServeHTTPError
+from repro.serve.client import RetryPolicy, ServeError, ServeHTTPError
 from repro.serve.clock import Clock, Sleep, blocking_sleep, monotonic_clock
 from repro.sweep.worker import execute_job
+
+#: Default first-contact retry: workers are routinely launched before
+#: the coordinator's socket listens (e.g. `repro dist work` in one
+#: terminal, `repro dist coordinate` still starting in another), so a
+#: refused connection before first contact is retried with the same
+#: capped-backoff shape ServeClient uses, not treated as fatal.
+CONNECT_RETRY = RetryPolicy(max_attempts=6, backoff_s=0.25)
 
 
 @dataclasses.dataclass
@@ -45,6 +52,8 @@ class WorkerStats:
     shards_completed: int = 0
     shards_lost: int = 0
     heartbeats: int = 0
+    #: Refused/failed connection attempts retried before first contact.
+    connect_retries: int = 0
     #: The coordinator vanished after we had talked to it — for an
     #: ``exit_when_done`` campaign that just means it finished first.
     coordinator_gone: bool = False
@@ -72,6 +81,7 @@ class DistWorker:
         sleep: Sleep = blocking_sleep,
         poll_s: float = 0.25,
         enforce_timeouts: Optional[bool] = None,
+        connect_retry: RetryPolicy = CONNECT_RETRY,
     ) -> None:
         self.client = client if client is not None else CoordinatorClient(
             host, port, client_id=worker_id
@@ -87,6 +97,7 @@ class DistWorker:
                 threading.current_thread() is threading.main_thread()
             )
         self.enforce_timeouts = enforce_timeouts
+        self.connect_retry = connect_retry
         self.stats = WorkerStats()
         self._contacted = False
 
@@ -98,7 +109,11 @@ class DistWorker:
         that disappears *after* first contact is treated as a finished
         ``exit_when_done`` campaign, not an error — by then every shard
         this worker could have helped with is settled or re-issuable.
+        Before first contact, connection failures are retried with
+        capped backoff (``connect_retry``): workers started ahead of
+        the coordinator's socket wait for it instead of dying.
         """
+        connect_attempts = 0
         while max_leases is None or self.stats.leases < max_leases:
             try:
                 response = self.client.lease(self.worker_id)
@@ -108,7 +123,12 @@ class DistWorker:
                 if self._contacted:
                     self.stats.coordinator_gone = True
                     break
-                raise
+                connect_attempts += 1
+                if connect_attempts >= self.connect_retry.max_attempts:
+                    raise
+                self.stats.connect_retries += 1
+                self.sleep(self.connect_retry.backoff_for(connect_attempts))
+                continue
             self._contacted = True
             status = response.get("status")
             if status == "done":

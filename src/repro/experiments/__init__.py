@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: E402,F401
     degradation,
     figures,
     markov_experiment,
+    realio_experiment,
     tables,
 )
 

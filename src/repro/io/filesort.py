@@ -132,7 +132,10 @@ class FileSorter:
     def _form_runs(self, input_path: Path) -> list[Path]:
         reader = BlockReader(input_path, self.codec, self.block_bytes)
         if reader.record_count == 0:
-            raise ValueError(f"{input_path} holds no records")
+            # An empty (but well-formed) input sorts to an empty output:
+            # zero runs, and the merge phase writes a valid header-only
+            # output file.
+            return []
         run_paths: list[Path] = []
         load: list[Record] = []
         for record in reader:
@@ -169,6 +172,20 @@ class FileSorter:
                     self.block_bytes,
                     on_block_exhausted=lambda i=index: trace.append(i),
                 )
+            )
+        if not readers:
+            # No runs (empty input): still emit a valid, loadable output
+            # file whose header records zero records.
+            with BlockWriter(output_path, self.codec, self.block_bytes):
+                pass
+            return FileSortStats(
+                records=0,
+                runs=0,
+                run_blocks=[],
+                output_blocks=0,
+                depletion_trace=trace,
+                bytes_read=0,
+                bytes_written=self.block_bytes,
             )
         tree = LoserTree(readers)
         records = 0

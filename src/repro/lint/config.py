@@ -42,14 +42,15 @@ class LintConfig:
     determinism_modules: list[str] = field(default_factory=lambda: [
         "repro/sim", "repro/core", "repro/disks", "repro/faults",
         "repro/workloads", "repro/obs", "repro/serve", "repro/dist",
-        "repro/netutil.py",
+        "repro/realio", "repro/netutil.py",
     ])
     #: The blessed randomness module itself (and any other exemptions);
-    #: repro/serve/clock.py is the service's one injected wall-clock
-    #: seam (see its docstring).
+    #: repro/serve/clock.py and repro/realio/clock.py are their
+    #: packages' one injected wall-clock seam each (see docstrings).
     determinism_exempt: list[str] = field(default_factory=lambda: [
         "repro/sim/random_streams.py",
         "repro/serve/clock.py",
+        "repro/realio/clock.py",
     ])
 
     # -- RPR002 hot-path slotting --------------------------------------------

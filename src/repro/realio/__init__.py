@@ -1,0 +1,74 @@
+"""repro.realio — the real-I/O strategy backend and sim-vs-real loop.
+
+Everything else in this repository *simulates* the paper's multi-disk
+merge; this package *executes* it.  The same planners
+(:mod:`repro.core.strategies`), the same allocation discipline
+(reserve-at-issue / release-at-deplete, via :class:`BufferPool`), and
+the same observability events — but against real files, with one
+reader thread standing in for each of the ``D`` disks.  On top sits
+the calibration loop: measure per-read latencies, fit effective
+(S, R, T), re-run the simulator under the fitted constants, and check
+that predicted strategy orderings hold on the storage at hand.
+
+Entry points: ``repro realio gen | run | calibrate | validate``.
+"""
+
+from repro.realio.backend import (
+    RealIOConfig,
+    RealMerge,
+    RealMergeOutcome,
+    RealMergeResult,
+    ReadSample,
+    run_real_merge,
+)
+from repro.realio.calibrate import (
+    CalibrationReport,
+    calibrate,
+    observations_from_samples,
+    probe_reads,
+)
+from repro.realio.clock import (
+    ClockMs,
+    SleepMs,
+    blocking_sleep_ms,
+    wall_clock_ms,
+)
+from repro.realio.dataset import (
+    RealDataset,
+    dataset_exists,
+    generate_dataset,
+    load_dataset,
+    load_dataset_from_paths,
+)
+from repro.realio.pool import BufferPool
+from repro.realio.validate import (
+    StrategyOutcome,
+    ValidationReport,
+    run_validation,
+)
+
+__all__ = [
+    "BufferPool",
+    "CalibrationReport",
+    "ClockMs",
+    "RealDataset",
+    "RealIOConfig",
+    "RealMerge",
+    "RealMergeOutcome",
+    "RealMergeResult",
+    "ReadSample",
+    "SleepMs",
+    "StrategyOutcome",
+    "ValidationReport",
+    "blocking_sleep_ms",
+    "calibrate",
+    "dataset_exists",
+    "generate_dataset",
+    "load_dataset",
+    "load_dataset_from_paths",
+    "observations_from_samples",
+    "probe_reads",
+    "run_real_merge",
+    "run_validation",
+    "wall_clock_ms",
+]

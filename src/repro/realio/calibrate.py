@@ -1,0 +1,230 @@
+"""Calibrating the simulator's disk model from measured reads.
+
+The paper's service model prices a read that moves the head ``c``
+cylinders and transfers ``b`` blocks at ``S*c + R + T*b`` milliseconds.
+:func:`calibrate` runs a controlled probe against a real dataset —
+reads of varying size from varying positions, timed at the same
+:data:`~repro.realio.clock.ClockMs` seam the backend uses — and hands
+the samples to :func:`repro.analysis.calibration.fit_service_model`,
+the measurement-direction twin of the anchor solve that recovered the
+paper's own constants.  The result is an *effective*
+:class:`~repro.core.parameters.DiskParameters` for whatever is actually
+underneath (tmpfs, page cache, spinning rust, or the backend's throttle
+emulation), ready to drop into a :class:`SimulationConfig` so the
+simulator predicts *this* storage instead of a 1992 DEC drive.
+
+Samples may also come straight from a real merge
+(:func:`observations_from_samples` converts the backend's per-request
+:class:`~repro.realio.backend.ReadSample` records), which calibrates
+from production traffic instead of a synthetic probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.calibration import (
+    Calibration,
+    ReadObservation,
+    fit_service_model,
+)
+from repro.core.parameters import DiskParameters
+from repro.disks.layout import RunLayout
+from repro.io.blockio import BLOCK_BYTES
+from repro.realio.backend import ReadSample
+from repro.realio.clock import (
+    ClockMs,
+    SleepMs,
+    blocking_sleep_ms,
+    wall_clock_ms,
+)
+from repro.realio.dataset import RealDataset
+
+#: Read sizes (blocks) the probe mixes so the transfer coefficient is
+#: identifiable separately from the per-request overhead.
+PROBE_COUNTS = (1, 2, 4, 8)
+
+#: Probe rounds per (run, count) pair by default.
+PROBE_ROUNDS = 4
+
+
+def observations_from_samples(
+    samples: Iterable[ReadSample],
+) -> list[ReadObservation]:
+    """Backend read samples as fit observations (zero services dropped).
+
+    A read the clock could not resolve (service time measured as 0 on
+    very fast storage) carries no timing information and would poison
+    the relative-residual statistics, so such samples are skipped.
+    """
+    return [
+        ReadObservation(
+            seek_cylinders=sample.seek_cylinders,
+            blocks=sample.blocks,
+            service_ms=sample.service_ms,
+        )
+        for sample in samples
+        if sample.service_ms > 0
+    ]
+
+
+def probe_reads(
+    dataset: RealDataset,
+    counts: Sequence[int] = PROBE_COUNTS,
+    rounds: int = PROBE_ROUNDS,
+    seed: int = 1992,
+    throttle_ms_per_block: float = 0.0,
+    clock: ClockMs = wall_clock_ms,
+    sleep: SleepMs = blocking_sleep_ms,
+) -> list[ReadObservation]:
+    """Timed reads of mixed sizes from seeded-random positions.
+
+    Every run file is visited each round; within a round the read size
+    cycles through ``counts`` and the start block is drawn uniformly
+    (seeded), so both the seek and the transfer columns of the design
+    matrix vary.  ``throttle_ms_per_block`` applies the same emulation
+    sleep as :class:`~repro.realio.backend.RealIOConfig`, letting probe
+    and merge measure the identical effective device.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one probe round")
+    if not counts or any(count < 1 for count in counts):
+        raise ValueError("read sizes must be positive")
+    layout = RunLayout(
+        num_runs=dataset.num_runs,
+        num_disks=dataset.num_disks,
+        blocks_per_run=dataset.blocks_per_run,
+    )
+    rng = random.Random(seed)
+    head = [0] * dataset.num_disks
+    observations: list[ReadObservation] = []
+    cycle = 0
+    for _ in range(rounds):
+        for run in range(dataset.num_runs):
+            count = min(counts[cycle % len(counts)], dataset.run_blocks[run])
+            cycle += 1
+            start = rng.randrange(dataset.run_blocks[run] - count + 1)
+            disk = dataset.disk_of_run(run)
+            target = layout.cylinder_of(run, start)
+            distance = abs(target - head[disk])
+            began = clock()
+            with open(dataset.run_paths[run], "rb") as handle:
+                handle.seek((1 + start) * BLOCK_BYTES)
+                for _block in range(count):
+                    handle.read(BLOCK_BYTES)
+                    if throttle_ms_per_block > 0:
+                        sleep(throttle_ms_per_block)
+            service_ms = clock() - began
+            head[disk] = layout.cylinder_of(run, start + count - 1)
+            if service_ms > 0:
+                observations.append(ReadObservation(
+                    seek_cylinders=distance,
+                    blocks=count,
+                    service_ms=service_ms,
+                ))
+    return observations
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationReport:
+    """Fitted effective disk constants plus fit provenance."""
+
+    dataset_description: str
+    num_observations: int
+    throttle_ms_per_block: float
+    calibration: Calibration
+
+    @property
+    def disk_parameters(self) -> DiskParameters:
+        """The fitted constants as a simulator-ready parameter set."""
+        return DiskParameters(
+            seek_ms_per_cylinder=self.calibration.seek_ms_per_cylinder,
+            avg_rotational_latency_ms=(
+                self.calibration.avg_rotational_latency_ms
+            ),
+            transfer_ms_per_block=self.calibration.transfer_ms_per_block,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset_description,
+            "num_observations": self.num_observations,
+            "throttle_ms_per_block": self.throttle_ms_per_block,
+            "seek_ms_per_cylinder": self.calibration.seek_ms_per_cylinder,
+            "avg_rotational_latency_ms": (
+                self.calibration.avg_rotational_latency_ms
+            ),
+            "transfer_ms_per_block": self.calibration.transfer_ms_per_block,
+            "max_relative_residual": self.calibration.max_relative_residual,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationReport":
+        """Inverse of :meth:`to_dict` (per-observation residuals are not
+        serialized; only their maximum survives the round trip)."""
+        return cls(
+            dataset_description=data["dataset"],
+            num_observations=data["num_observations"],
+            throttle_ms_per_block=data["throttle_ms_per_block"],
+            calibration=Calibration(
+                seek_ms_per_cylinder=data["seek_ms_per_cylinder"],
+                avg_rotational_latency_ms=data["avg_rotational_latency_ms"],
+                transfer_ms_per_block=data["transfer_ms_per_block"],
+                max_relative_residual=data["max_relative_residual"],
+                residuals=(),
+            ),
+        )
+
+    def render(self) -> str:
+        lines = [
+            "Calibration (effective disk constants)",
+            f"  dataset:       {self.dataset_description}",
+            f"  observations:  {self.num_observations}",
+            f"  throttle:      {self.throttle_ms_per_block:g} ms/block",
+            f"  S (seek):      "
+            f"{self.calibration.seek_ms_per_cylinder:.6f} ms/cylinder",
+            f"  R (rotation):  "
+            f"{self.calibration.avg_rotational_latency_ms:.6f} ms",
+            f"  T (transfer):  "
+            f"{self.calibration.transfer_ms_per_block:.6f} ms/block",
+            f"  max residual:  "
+            f"{self.calibration.max_relative_residual * 100:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+def calibrate(
+    dataset: RealDataset,
+    observations: Optional[Sequence[ReadObservation]] = None,
+    counts: Sequence[int] = PROBE_COUNTS,
+    rounds: int = PROBE_ROUNDS,
+    seed: int = 1992,
+    throttle_ms_per_block: float = 0.0,
+    clock: ClockMs = wall_clock_ms,
+    sleep: SleepMs = blocking_sleep_ms,
+) -> CalibrationReport:
+    """Fit effective (S, R, T) for the storage under ``dataset``.
+
+    Pass ``observations`` to calibrate from existing measurements (e.g.
+    a merge's :class:`ReadSample` stream via
+    :func:`observations_from_samples`); otherwise a fresh probe runs.
+    """
+    if observations is None:
+        observations = probe_reads(
+            dataset,
+            counts=counts,
+            rounds=rounds,
+            seed=seed,
+            throttle_ms_per_block=throttle_ms_per_block,
+            clock=clock,
+            sleep=sleep,
+        )
+    fitted = fit_service_model(observations)
+    return CalibrationReport(
+        dataset_description=dataset.describe(),
+        num_observations=len(observations),
+        throttle_ms_per_block=throttle_ms_per_block,
+        calibration=fitted,
+    )

@@ -1,0 +1,39 @@
+"""The real-I/O layer's only wall-clock access point.
+
+``repro/realio`` executes merges against real files, so its timings are
+genuinely wall-clock — but the package still sits inside the lint
+determinism scope (RPR001) like :mod:`repro.serve`: no module there may
+read a wall clock directly.  Every time-dependent realio component
+takes a ``clock`` (and, where it throttles, a ``sleep``) callable
+defaulting to the functions here, and tests drive the same components
+with a fake clock for deterministic assertions.
+
+This module is the package's single exemption (``determinism-exempt``
+in ``pyproject.toml``), mirroring :mod:`repro.serve.clock` — the serve
+layer's blessed seam — and :mod:`repro.sim.random_streams` on the
+randomness side.  Times are **milliseconds** (the unit of every
+simulator metric and trace event) rather than the serve seam's
+seconds, so measured spans drop straight into the same obs tooling.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable
+
+#: Signature of an injected clock: milliseconds from an arbitrary epoch.
+ClockMs = Callable[[], float]
+
+#: Signature of an injected blocking sleep (milliseconds).
+SleepMs = Callable[[float], None]
+
+
+def wall_clock_ms() -> float:
+    """Milliseconds on the high-resolution monotonic performance clock."""
+    return _time.perf_counter() * 1000.0
+
+
+def blocking_sleep_ms(duration_ms: float) -> None:
+    """Default :data:`SleepMs` (used by the throttle emulation knob)."""
+    if duration_ms > 0:
+        _time.sleep(duration_ms / 1000.0)

@@ -1,0 +1,164 @@
+"""On-disk datasets for the real-I/O backend.
+
+A dataset is ``k`` sorted run files laid out round-robin across ``D``
+directories (``disk-0`` .. ``disk-D-1``), one directory standing in for
+each physical disk — the same placement :class:`repro.disks.layout.RunLayout`
+models for the simulator (run ``r`` on disk ``r mod D``).  Run files use
+the :mod:`repro.io.blockio` format, so anything ``repro.mergesort`` /
+``repro.io`` produces (e.g. the spill runs of a :class:`FileSorter`)
+can be wrapped into a dataset with :func:`load_dataset`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.io.blockio import BLOCK_BYTES, BlockReader, BlockWriter
+from repro.io.codec import RecordCodec
+from repro.mergesort.records import Record
+
+
+@dataclass(frozen=True)
+class RealDataset:
+    """``k`` sorted run files distributed over ``D`` disk directories.
+
+    ``run_paths[r]`` lives under ``disk-(r mod num_disks)``;
+    ``run_blocks[r]`` / ``run_records[r]`` are its data-block and record
+    counts (from the file headers, header block excluded).
+    """
+
+    root: Path
+    num_disks: int
+    run_paths: tuple[Path, ...]
+    run_blocks: tuple[int, ...]
+    run_records: tuple[int, ...]
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.run_paths)
+
+    @property
+    def blocks_per_run(self) -> int:
+        """The longest run, in blocks (the layout's slot size)."""
+        return max(self.run_blocks)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.run_blocks)
+
+    @property
+    def total_records(self) -> int:
+        return sum(self.run_records)
+
+    def disk_of_run(self, run: int) -> int:
+        return run % self.num_disks
+
+    def describe(self) -> str:
+        return (
+            f"k={self.num_runs} D={self.num_disks} "
+            f"{self.blocks_per_run} blocks/run "
+            f"({self.total_records} records) at {self.root}"
+        )
+
+
+#: Manifest filename written next to the disk directories.
+MANIFEST = "dataset.json"
+
+
+def generate_dataset(
+    root: Path,
+    num_runs: int,
+    num_disks: int,
+    blocks_per_run: int,
+    seed: int = 1992,
+    codec: Optional[RecordCodec] = None,
+) -> RealDataset:
+    """Write ``num_runs`` sorted run files round-robin over ``num_disks``.
+
+    Keys are uniform random from a seeded stream (run ``r`` uses
+    ``seed + r``), sorted in memory per run — the state an external
+    sort's run-formation phase leaves on disk.  Deterministic: the same
+    arguments always produce byte-identical files.
+    """
+    if num_runs < 1:
+        raise ValueError("need at least one run")
+    if num_disks < 1:
+        raise ValueError("need at least one disk")
+    if blocks_per_run < 1:
+        raise ValueError("runs must contain at least one block")
+    root = Path(root)
+    codec = codec or RecordCodec()
+    records_per_block = BLOCK_BYTES // codec.record_bytes
+    run_paths: list[Path] = []
+    tag = 0
+    for run in range(num_runs):
+        directory = root / f"disk-{run % num_disks}"
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"run-{run:05d}.blk"
+        rng = random.Random(seed + run)
+        load = []
+        for _ in range(blocks_per_run * records_per_block):
+            load.append(Record(key=rng.randrange(1 << 40), tag=tag))
+            tag += 1
+        load.sort()
+        with BlockWriter(path, codec) as writer:
+            writer.write_many(load)
+        run_paths.append(path)
+    dataset = load_dataset_from_paths(root, num_disks, run_paths, codec)
+    manifest = {
+        "num_runs": num_runs,
+        "num_disks": num_disks,
+        "blocks_per_run": blocks_per_run,
+        "seed": seed,
+        "runs": [str(path.relative_to(root)) for path in run_paths],
+    }
+    (root / MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    return dataset
+
+
+def load_dataset_from_paths(
+    root: Path,
+    num_disks: int,
+    run_paths: list[Path],
+    codec: Optional[RecordCodec] = None,
+) -> RealDataset:
+    """Wrap existing run files (in run order) into a dataset."""
+    if not run_paths:
+        raise ValueError(f"no run files under {root}")
+    codec = codec or RecordCodec()
+    blocks, records = [], []
+    for path in run_paths:
+        reader = BlockReader(path, codec)
+        blocks.append(reader.num_blocks)
+        records.append(reader.record_count)
+    return RealDataset(
+        root=Path(root),
+        num_disks=num_disks,
+        run_paths=tuple(Path(p) for p in run_paths),
+        run_blocks=tuple(blocks),
+        run_records=tuple(records),
+    )
+
+
+def load_dataset(root: Path, codec: Optional[RecordCodec] = None) -> RealDataset:
+    """Load a dataset previously written by :func:`generate_dataset`."""
+    root = Path(root)
+    manifest_path = root / MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(
+            f"{root} holds no {MANIFEST}; generate one with "
+            "generate_dataset() or 'repro realio gen'"
+        )
+    manifest = json.loads(manifest_path.read_text())
+    run_paths = [root / rel for rel in manifest["runs"]]
+    return load_dataset_from_paths(
+        root, int(manifest["num_disks"]), run_paths, codec
+    )
+
+
+def dataset_exists(root: Path) -> bool:
+    return (Path(root) / MANIFEST).exists()

@@ -1,0 +1,182 @@
+"""The shared buffer pool of the real-I/O backend.
+
+A thread-safe twin of :class:`repro.core.cache.BlockCache` holding real
+block payloads: the merge thread reserves space the moment a fetch is
+queued at a disk (*reserve-at-issue*) and frees it the moment a block's
+records have been merged (*release-at-deplete*), while reader threads
+deliver payloads with :meth:`block_arrived`.  Because each disk is one
+FIFO reader thread and every block of a run lives on one disk, a run's
+blocks arrive strictly in index order — the same property that lets the
+simulator's cache reduce to per-run counters, so this pool reuses
+:class:`~repro.core.cache.RunCacheState` (and its invariants) verbatim.
+
+Prefetch planners (:mod:`repro.core.strategies`) observe the pool
+through the same duck-typed surface they see on the simulator's cache:
+``runs``, ``free``, ``can_reserve``.  :meth:`check` raises
+:class:`~repro.core.cache.CacheAccountingError` on any space leak,
+double free, or out-of-order arrival, exactly like the simulated cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.core.cache import CacheAccountingError, RunCacheState
+
+
+class BufferPool:
+    """Fixed-capacity pool of real block payloads shared by all runs."""
+
+    def __init__(self, capacity: int, run_blocks: Sequence[int]) -> None:
+        if capacity < 1:
+            raise CacheAccountingError("pool capacity must be >= 1")
+        self.capacity = capacity
+        self._free = capacity
+        self.runs = [
+            RunCacheState(run, total) for run, total in enumerate(run_blocks)
+        ]
+        self._payloads: list[deque] = [deque() for _ in run_blocks]
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        # Statistics (same names as BlockCache, for shared reporting).
+        self.min_free = capacity
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Space accounting (merge thread only)
+    # ------------------------------------------------------------------
+    @property
+    def free(self) -> int:
+        return self._free
+
+    @property
+    def occupied_or_reserved(self) -> int:
+        return self.capacity - self._free
+
+    def can_reserve(self, blocks: int) -> bool:
+        return blocks <= self._free
+
+    def reserve(self, run: int, blocks: int) -> None:
+        """Claim space for ``blocks`` in-flight blocks of ``run``."""
+        with self._lock:
+            if blocks < 1:
+                raise CacheAccountingError("must reserve at least one block")
+            if blocks > self._free:
+                raise CacheAccountingError(
+                    f"reserve({blocks}) exceeds free space {self._free}"
+                )
+            state = self.runs[run]
+            if state.next_fetch + blocks > state.total_blocks:
+                raise CacheAccountingError(
+                    f"run {run} has only {state.on_disk} blocks left on "
+                    f"disk, cannot fetch {blocks}"
+                )
+            self._free -= blocks
+            state.in_flight += blocks
+            state.next_fetch += blocks
+            self.min_free = min(self.min_free, self._free)
+            self.peak_occupancy = max(
+                self.peak_occupancy, self.capacity - self._free
+            )
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    def block_arrived(self, run: int, block_index: int, payload: bytes) -> None:
+        """A reader thread delivered one fetched block."""
+        with self._arrived:
+            state = self.runs[run]
+            expected = state.next_deplete + state.cached
+            if block_index != expected:
+                raise CacheAccountingError(
+                    f"run {run}: block {block_index} arrived out of order "
+                    f"(expected {expected})"
+                )
+            if state.in_flight <= 0:
+                raise CacheAccountingError(
+                    f"run {run}: arrival with nothing in flight"
+                )
+            state.in_flight -= 1
+            state.cached += 1
+            self._payloads[run].append(payload)
+            self._arrived.notify_all()
+
+    def peek(self, run: int) -> bytes:
+        """The payload of ``run``'s leading resident block (kept resident)."""
+        with self._lock:
+            if self.runs[run].cached < 1:
+                raise CacheAccountingError(
+                    f"run {run} has no resident block to read"
+                )
+            return self._payloads[run][0]
+
+    def deplete(self, run: int) -> int:
+        """Release the leading resident block of ``run``; frees one slot.
+
+        Returns the index of the depleted block.
+        """
+        with self._lock:
+            state = self.runs[run]
+            if state.cached < 1:
+                raise CacheAccountingError(
+                    f"run {run} has no resident block to deplete"
+                )
+            index = state.next_deplete
+            state.cached -= 1
+            state.next_deplete += 1
+            self._payloads[run].popleft()
+            self._free += 1
+            return index
+
+    def wait_for_arrival(
+        self, run: int, block_index: int, timeout_ms: Optional[float] = None
+    ) -> None:
+        """Block until ``block_index`` of ``run`` is resident.
+
+        The block must already be in flight (reserve-at-issue means a
+        demand wait always follows an issued fetch).  Raises
+        :class:`TimeoutError` if the readers go silent for
+        ``timeout_ms`` — a deadlock guard, not an expected path.
+        """
+        with self._arrived:
+            state = self.runs[run]
+            if block_index >= state.next_fetch:
+                raise CacheAccountingError(
+                    f"run {run}: block {block_index} was never issued "
+                    f"(next_fetch {state.next_fetch})"
+                )
+
+            def resident() -> bool:
+                return state.next_deplete + state.cached > block_index
+
+            timeout_s = None if timeout_ms is None else timeout_ms / 1000.0
+            if not self._arrived.wait_for(resident, timeout=timeout_s):
+                raise TimeoutError(
+                    f"run {run}: block {block_index} did not arrive within "
+                    f"{timeout_ms:g} ms"
+                )
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Validate every invariant; raises on violation."""
+        with self._lock:
+            total_held = 0
+            for state, payloads in zip(self.runs, self._payloads):
+                state.check()
+                if len(payloads) != state.cached:
+                    raise CacheAccountingError(
+                        f"run {state.run}: {len(payloads)} payload(s) held "
+                        f"but {state.cached} block(s) accounted resident"
+                    )
+                total_held += state.cached + state.in_flight
+            if total_held + self._free != self.capacity:
+                raise CacheAccountingError(
+                    f"space leak: held {total_held} + free {self._free} != "
+                    f"capacity {self.capacity}"
+                )
+            if self._free < 0:
+                raise CacheAccountingError("negative free space")

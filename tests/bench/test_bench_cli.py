@@ -77,6 +77,18 @@ def test_bench_compare_detects_regression(tmp_path, capsys):
     assert "REGRESSED" in capsys.readouterr().out
 
 
+def test_bench_compare_missing_baseline_names_the_fix(tmp_path, capsys):
+    """Day-one UX: no baseline yet must say how to create one, not dump
+    a FileNotFoundError traceback."""
+    missing = tmp_path / "BENCH_never-ran.json"
+    code = main(["bench", "compare", str(missing), str(missing)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert str(missing) in err
+    assert "no baseline report" in err
+    assert "repro bench run" in err
+
+
 def test_bench_compare_rejects_corrupt_file(tmp_path, capsys):
     bad = tmp_path / "bad.json"
     bad.write_text("{}")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.io.blockio import BLOCK_BYTES, BlockReader, BlockWriter
 from repro.io.codec import RecordCodec
-from repro.io.filesort import FileSorter
+from repro.io.filesort import FileSorter, verify_sorted_file
 from repro.mergesort.records import Record
 
 
@@ -78,6 +78,39 @@ def test_sorter_all_equal_records(tmp_path):
     assert stats.records == 200
     tags = [r.tag for r in BlockReader(tmp_path / "out.blk")]
     assert tags == list(range(200))  # stable by tag
+
+
+def test_sorter_empty_input_produces_valid_empty_output(tmp_path):
+    """Zero records sort to a well-formed, loadable, empty output file."""
+    path = tmp_path / "empty.blk"
+    with BlockWriter(path):
+        pass  # valid header, no records
+    sorter = FileSorter(memory_records=16, temp_dirs=[tmp_path / "d"])
+    stats = sorter.sort_file(path, tmp_path / "out.blk")
+    assert stats.records == 0
+    assert stats.runs == 0
+    assert stats.initial_runs == 0
+    assert stats.run_blocks == []
+    assert stats.output_blocks == 0
+    assert stats.bytes_read == 0
+    assert stats.bytes_written == BLOCK_BYTES  # the header block
+    assert stats.depletion_trace == []
+    reader = BlockReader(tmp_path / "out.blk")
+    assert reader.record_count == 0
+    assert list(reader) == []
+    assert verify_sorted_file(tmp_path / "out.blk") == 0
+
+
+def test_sorter_empty_output_is_itself_sortable(tmp_path):
+    """The empty output round-trips through another sort unchanged."""
+    path = tmp_path / "empty.blk"
+    with BlockWriter(path):
+        pass
+    sorter = FileSorter(memory_records=4, temp_dirs=[tmp_path / "d"])
+    sorter.sort_file(path, tmp_path / "out1.blk")
+    stats = sorter.sort_file(tmp_path / "out1.blk", tmp_path / "out2.blk")
+    assert stats.records == 0
+    assert verify_sorted_file(tmp_path / "out2.blk") == 0
 
 
 def test_sorter_negative_keys(tmp_path):

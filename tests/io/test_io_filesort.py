@@ -108,12 +108,14 @@ def test_duplicate_keys_sorted_stably_by_tag(tmp_path):
     assert tags == list(range(100))
 
 
-def test_empty_input_rejected(tmp_path):
+def test_empty_input_sorts_to_empty_output(tmp_path):
     path = tmp_path / "empty.blk"
     with BlockWriter(path):
         pass
-    with pytest.raises(ValueError, match="no records"):
-        make_sorter(tmp_path).sort_file(path, tmp_path / "out.blk")
+    stats = make_sorter(tmp_path).sort_file(path, tmp_path / "out.blk")
+    assert stats.records == 0
+    assert stats.runs == 0
+    assert BlockReader(tmp_path / "out.blk").record_count == 0
 
 
 def test_invalid_construction(tmp_path):

@@ -1,0 +1,127 @@
+"""BufferPool invariants: the thread-safe twin of BlockCache."""
+
+import pytest
+
+from repro.core.cache import CacheAccountingError
+from repro.realio.pool import BufferPool
+
+
+def make_pool(capacity=8, runs=(4, 4)):
+    return BufferPool(capacity, list(runs))
+
+
+def test_reserve_tracks_free_space():
+    pool = make_pool(capacity=8)
+    assert pool.free == 8
+    pool.reserve(0, 3)
+    assert pool.free == 5
+    assert pool.occupied_or_reserved == 3
+    assert pool.can_reserve(5)
+    assert not pool.can_reserve(6)
+
+
+def test_reserve_over_free_space_raises():
+    pool = make_pool(capacity=2)
+    with pytest.raises(CacheAccountingError, match="exceeds free space"):
+        pool.reserve(0, 3)
+
+
+def test_reserve_past_end_of_run_raises():
+    pool = make_pool(capacity=8, runs=(2, 2))
+    with pytest.raises(CacheAccountingError, match="only .* blocks left"):
+        pool.reserve(0, 3)
+
+
+def test_reserve_zero_raises():
+    pool = make_pool()
+    with pytest.raises(CacheAccountingError, match="at least one block"):
+        pool.reserve(0, 0)
+
+
+def test_arrival_without_reservation_raises():
+    pool = make_pool()
+    with pytest.raises(CacheAccountingError, match="nothing in flight"):
+        pool.block_arrived(0, 0, b"x")
+
+
+def test_arrival_out_of_order_raises():
+    pool = make_pool()
+    pool.reserve(0, 2)
+    with pytest.raises(CacheAccountingError, match="out of order"):
+        pool.block_arrived(0, 1, b"x")  # block 0 must arrive first
+
+
+def test_block_lifecycle_reserve_arrive_peek_deplete():
+    pool = make_pool(capacity=4, runs=(3,))
+    pool.reserve(0, 2)
+    pool.block_arrived(0, 0, b"first")
+    pool.block_arrived(0, 1, b"second")
+    assert pool.peek(0) == b"first"
+    assert pool.free == 2  # both blocks resident, space still claimed
+    assert pool.deplete(0) == 0
+    assert pool.free == 3
+    assert pool.peek(0) == b"second"
+    assert pool.deplete(0) == 1
+    assert pool.free == 4
+    pool.check()
+
+
+def test_deplete_with_nothing_resident_raises():
+    pool = make_pool()
+    with pytest.raises(CacheAccountingError, match="no resident block"):
+        pool.deplete(0)
+    # Reserved-but-not-arrived blocks are not depletable either.
+    pool.reserve(0, 1)
+    with pytest.raises(CacheAccountingError, match="no resident block"):
+        pool.deplete(0)
+
+
+def test_peek_with_nothing_resident_raises():
+    pool = make_pool()
+    with pytest.raises(CacheAccountingError, match="no resident block"):
+        pool.peek(0)
+
+
+def test_wait_for_arrival_of_unissued_block_raises():
+    pool = make_pool()
+    with pytest.raises(CacheAccountingError, match="never issued"):
+        pool.wait_for_arrival(0, 0, timeout_ms=10)
+
+
+def test_wait_for_arrival_timeout_is_a_deadlock_guard():
+    pool = make_pool()
+    pool.reserve(0, 1)
+    with pytest.raises(TimeoutError, match="did not arrive"):
+        pool.wait_for_arrival(0, 0, timeout_ms=5)
+
+
+def test_wait_for_arrival_returns_when_resident():
+    pool = make_pool()
+    pool.reserve(0, 1)
+    pool.block_arrived(0, 0, b"x")
+    pool.wait_for_arrival(0, 0, timeout_ms=5)  # no exception
+
+
+def test_occupancy_statistics():
+    pool = make_pool(capacity=4, runs=(4,))
+    pool.reserve(0, 3)
+    assert pool.min_free == 1
+    assert pool.peak_occupancy == 3
+    for i in range(3):
+        pool.block_arrived(0, i, b"x")
+        pool.deplete(0)
+    # Statistics are high-water marks; draining does not lower them.
+    assert pool.min_free == 1
+    assert pool.peak_occupancy == 3
+
+
+def test_check_detects_space_leak():
+    pool = make_pool()
+    pool._free += 1  # corrupt the accounting directly
+    with pytest.raises(CacheAccountingError, match="space leak"):
+        pool.check()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(CacheAccountingError):
+        BufferPool(0, [1])

@@ -1,0 +1,157 @@
+"""Fitting effective (S, R, T) from measured reads, and the probe."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    MIN_TRANSFER_MS,
+    ReadObservation,
+    fit_service_model,
+)
+from repro.realio import (
+    ReadSample,
+    calibrate,
+    generate_dataset,
+    observations_from_samples,
+    probe_reads,
+)
+
+# The paper's constants (Table 1), used as ground truth for recovery.
+S, R, T = 0.03, 8.33, 2.05
+
+
+def synthetic(seek, blocks):
+    return ReadObservation(
+        seek_cylinders=seek,
+        blocks=blocks,
+        service_ms=S * seek + R + T * blocks,
+    )
+
+
+class StepClock:
+    """Deterministic ms clock: advances only via the paired sleep."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, ms):
+        self.now += ms
+
+
+def test_full_fit_recovers_exact_constants():
+    observations = [
+        synthetic(seek, blocks)
+        for seek in (0, 5, 40, 200)
+        for blocks in (1, 2, 4, 8)
+    ]
+    fit = fit_service_model(observations)
+    assert fit.seek_ms_per_cylinder == pytest.approx(S, rel=1e-9)
+    assert fit.avg_rotational_latency_ms == pytest.approx(R, rel=1e-9)
+    assert fit.transfer_ms_per_block == pytest.approx(T, rel=1e-9)
+    assert fit.max_relative_residual == pytest.approx(0.0, abs=1e-9)
+
+
+def test_degenerate_seek_column_falls_back_to_two_parameters():
+    # Every read at the same position: tmpfs-style, no seek signal.
+    observations = [
+        ReadObservation(0, blocks, R + T * blocks) for blocks in (1, 2, 4, 8)
+    ]
+    fit = fit_service_model(observations)
+    assert fit.seek_ms_per_cylinder == 0.0
+    assert fit.avg_rotational_latency_ms == pytest.approx(R, rel=1e-9)
+    assert fit.transfer_ms_per_block == pytest.approx(T, rel=1e-9)
+
+
+def test_single_read_size_falls_back_to_mean_per_block():
+    observations = [ReadObservation(0, 2, 5.0) for _ in range(4)]
+    fit = fit_service_model(observations)
+    assert fit.seek_ms_per_cylinder == 0.0
+    assert fit.avg_rotational_latency_ms == 0.0
+    assert fit.transfer_ms_per_block == pytest.approx(2.5)
+
+
+def test_negative_intercept_is_clamped_to_zero():
+    # service = 2b - 1 solves to R = -1; the model clamps to R = 0 and
+    # reports residuals against the clamped model.
+    observations = [
+        ReadObservation(0, blocks, 2.0 * blocks - 1.0)
+        for blocks in (1, 2, 4, 8)
+    ]
+    fit = fit_service_model(observations)
+    assert fit.avg_rotational_latency_ms == 0.0
+    assert fit.transfer_ms_per_block >= MIN_TRANSFER_MS
+    assert fit.max_relative_residual > 0.0
+
+
+def test_fit_input_validation():
+    with pytest.raises(ValueError, match="at least three"):
+        fit_service_model([synthetic(0, 1), synthetic(0, 2)])
+    with pytest.raises(ValueError, match="positive service"):
+        fit_service_model([
+            synthetic(0, 1), synthetic(0, 2), ReadObservation(0, 4, 0.0),
+        ])
+
+
+def test_observations_from_samples_drop_zero_services():
+    samples = [
+        ReadSample(0, 3, 2, 4.0, 0.0, True),
+        ReadSample(1, 0, 1, 0.0, 0.0, False),  # unresolvable timing
+    ]
+    observations = observations_from_samples(samples)
+    assert len(observations) == 1
+    assert observations[0].seek_cylinders == 3
+    assert observations[0].blocks == 2
+    assert observations[0].service_ms == 4.0
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    root = tmp_path_factory.mktemp("realio-cal")
+    return generate_dataset(
+        root, num_runs=4, num_disks=2, blocks_per_run=16, seed=3
+    )
+
+
+def test_probe_with_fake_clock_measures_the_throttle(dataset):
+    clock = StepClock()
+    observations = probe_reads(
+        dataset,
+        rounds=2,
+        throttle_ms_per_block=2.0,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    # With a clock that only the throttle advances, each probe's service
+    # is exactly 2 ms per block read.
+    assert observations
+    for obs in observations:
+        assert obs.service_ms == pytest.approx(2.0 * obs.blocks)
+    fit = fit_service_model(observations)
+    assert fit.transfer_ms_per_block == pytest.approx(2.0, rel=1e-6)
+    assert fit.seek_ms_per_cylinder == pytest.approx(0.0, abs=1e-9)
+
+
+def test_calibrate_report_round_trip(dataset):
+    clock = StepClock()
+    report = calibrate(
+        dataset,
+        throttle_ms_per_block=1.0,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    assert report.num_observations > 0
+    data = report.to_dict()
+    assert data["transfer_ms_per_block"] == pytest.approx(1.0, rel=1e-6)
+    assert data["throttle_ms_per_block"] == 1.0
+    params = report.disk_parameters
+    assert params.transfer_ms_per_block == report.calibration.transfer_ms_per_block
+    assert "Calibration" in report.render()
+
+
+def test_probe_input_validation(dataset):
+    with pytest.raises(ValueError, match="probe round"):
+        probe_reads(dataset, rounds=0)
+    with pytest.raises(ValueError, match="positive"):
+        probe_reads(dataset, counts=(0,))

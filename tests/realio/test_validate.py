@@ -1,0 +1,109 @@
+"""The sim-vs-real validation loop and its report."""
+
+import json
+
+import pytest
+
+from repro.core.parameters import PrefetchStrategy
+from repro.obs.collector import TraceSession
+from repro.realio import generate_dataset, run_validation
+from repro.realio.validate import StrategyOutcome, _ordering
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    root = tmp_path_factory.mktemp("realio-val")
+    dataset = generate_dataset(
+        root, num_runs=4, num_disks=2, blocks_per_run=8, seed=13
+    )
+    session = TraceSession("validate-test")
+    result = run_validation(
+        dataset,
+        prefetch_depth=2,
+        trials=1,
+        base_seed=13,
+        throttle_ms_per_block=0.1,
+        session=session,
+    )
+    return result
+
+
+def test_validation_produces_one_outcome_per_strategy(report):
+    strategies = [outcome.strategy for outcome in report.outcomes]
+    assert strategies == [
+        PrefetchStrategy.INTRA_RUN, PrefetchStrategy.INTER_RUN
+    ]
+    for outcome in report.outcomes:
+        assert outcome.measured_total_ms > 0
+        assert outcome.predicted_total_ms > 0
+        assert outcome.measured_demand_situations > 0
+        assert outcome.predicted_demand_situations > 0
+
+
+def test_demand_ordering_is_structural(report):
+    """Both executors run identical planner logic, so demand-situation
+    counts must rank the strategies the same way — always."""
+    assert report.demand_ordering_agrees
+
+
+def test_calibration_came_from_merge_traffic(report):
+    assert report.calibration.num_observations > 0
+    # The 0.1 ms/block throttle dominates tmpfs reads, so the fitted
+    # per-block transfer time is at least that.
+    assert report.calibration.calibration.transfer_ms_per_block >= 0.05
+
+
+def test_report_serializes_and_saves(report, tmp_path):
+    data = report.to_dict()
+    assert data["prefetch_depth"] == 2
+    assert len(data["outcomes"]) == 2
+    assert set(data) >= {
+        "calibration", "stall_ordering_agrees", "demand_ordering_agrees",
+        "total_ordering_agrees", "agrees",
+    }
+    path = tmp_path / "report.json"
+    report.save(path)
+    assert json.loads(path.read_text()) == data
+    from repro.realio import ValidationReport
+
+    restored = ValidationReport.from_dict(data)
+    assert restored.agrees == report.agrees
+    assert restored.outcomes == report.outcomes
+    assert (
+        restored.calibration.disk_parameters
+        == report.calibration.disk_parameters
+    )
+    rendered = report.render()
+    assert "Sim-vs-real validation" in rendered
+    assert "verdict" in rendered
+
+
+def test_validation_needs_two_strategies(report):
+    with pytest.raises(ValueError, match="at least two"):
+        run_validation(
+            object(), strategies=[PrefetchStrategy.INTRA_RUN]
+        )
+
+
+def test_ordering_helper_ranks_cheapest_first():
+    outcomes = [
+        StrategyOutcome(
+            strategy=PrefetchStrategy.INTRA_RUN,
+            measured_total_ms=10, measured_stall_ms=8,
+            measured_demand_situations=12,
+            predicted_total_ms=9, predicted_stall_ms=7,
+            predicted_demand_situations=12,
+        ),
+        StrategyOutcome(
+            strategy=PrefetchStrategy.INTER_RUN,
+            measured_total_ms=6, measured_stall_ms=2,
+            measured_demand_situations=6,
+            predicted_total_ms=5, predicted_stall_ms=1,
+            predicted_demand_situations=6,
+        ),
+    ]
+    assert _ordering(outcomes, "measured_stall_ms") == [
+        "inter-run", "intra-run"
+    ]
+    assert outcomes[0].stall_ratio == pytest.approx(8 / 7)
+    assert outcomes[1].total_ratio == pytest.approx(6 / 5)

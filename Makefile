@@ -6,7 +6,7 @@ PYTHON ?= python3
 # import path without requiring an install step.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast lint sweep-smoke serve-smoke dist-smoke bench bench-smoke bench-pytest obs-smoke realio-smoke check reproduce reproduce-quick clean
+.PHONY: install test test-fast lint sanitize-smoke sweep-smoke serve-smoke dist-smoke bench bench-smoke bench-pytest obs-smoke realio-smoke check reproduce reproduce-quick clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,10 +18,16 @@ test:
 	$(PYTHON) scripts/dist_smoke.py
 	$(PYTHON) -m repro lint src --stats
 
-# Static invariant enforcement (rules RPR001-RPR009, docs/LINT.md);
+# Static invariant enforcement (rules RPR001-RPR013, docs/LINT.md);
 # exits non-zero on any finding not in lint-baseline.json.
 lint:
 	$(PYTHON) -m repro lint src --stats
+
+# Runtime concurrency sanitizer (docs/LINT.md, RPR090-RPR092): a
+# planted unlocked mutation must be caught, then a real-I/O sort and a
+# 2-worker dist campaign must run clean under REPRO_SANITIZE=1.
+sanitize-smoke:
+	$(PYTHON) scripts/sanitize_smoke.py
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"

@@ -117,11 +117,17 @@ class RunContext:
     :attr:`trace` during and after the scope); an existing session can
     be passed to accumulate several runs into one trace.
 
+    ``sanitize=True`` additionally switches on the runtime concurrency
+    sanitizer (:mod:`repro.lint.sanitizer`) for the duration of the
+    scope.  Unlike the other options it is not ambient state to read
+    back — it instruments shared-state classes process-wide while at
+    least one sanitizing scope is open.
+
     Reusable and reentrant: each ``with`` entry snapshots exactly the
     fields this context sets and restores them on exit.
     """
 
-    __slots__ = ("_options", "_saved")
+    __slots__ = ("_options", "_saved", "_sanitize")
 
     def __init__(
         self,
@@ -130,6 +136,7 @@ class RunContext:
         fault_plan: Union["FaultPlan", None, _Unset] = UNSET,
         kernel: Union[str, None, _Unset] = UNSET,
         trace: Union[TraceSession, bool, None, _Unset] = UNSET,
+        sanitize: bool = False,
     ) -> None:
         if trace is True:
             trace = TraceSession()
@@ -145,6 +152,7 @@ class RunContext:
             if not isinstance(value, _Unset):
                 self._options[name] = value
         self._saved: list[dict[str, Any]] = []
+        self._sanitize = bool(sanitize)
 
     @property
     def trace(self) -> Optional[TraceSession]:
@@ -160,11 +168,21 @@ class RunContext:
         self._saved.append(
             {name: _set(name, value) for name, value in self._options.items()}
         )
+        if self._sanitize:
+            # Function-scoped import: repro.lint sits above this module
+            # in the layer DAG, and the sanitizer is opt-in anyway.
+            from repro.lint import sanitizer
+
+            sanitizer.enable()
         return self
 
     def __exit__(self, *exc_info) -> None:
         for name, value in self._saved.pop().items():
             _set(name, value)
+        if self._sanitize:
+            from repro.lint import sanitizer
+
+            sanitizer.disable()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         rendered = ", ".join(
@@ -179,6 +197,7 @@ def configure(
     fault_plan: Union["FaultPlan", None, _Unset] = UNSET,
     kernel: Union[str, None, _Unset] = UNSET,
     trace: Union[TraceSession, bool, None, _Unset] = UNSET,
+    sanitize: bool = False,
 ) -> RunContext:
     """Build a :class:`RunContext` — the idiomatic spelling.
 
@@ -186,5 +205,6 @@ def configure(
     than naming the class; the two are interchangeable.
     """
     return RunContext(
-        backend=backend, fault_plan=fault_plan, kernel=kernel, trace=trace
+        backend=backend, fault_plan=fault_plan, kernel=kernel, trace=trace,
+        sanitize=sanitize,
     )

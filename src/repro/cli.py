@@ -1619,6 +1619,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Honor REPRO_SANITIZE=1 before any subsystem is imported so the
+    # concurrency sanitizer instruments every code path of this
+    # invocation (including dist workers spawned with the same env).
+    from repro.lint.sanitizer import enable_from_env
+
+    enable_from_env()
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()

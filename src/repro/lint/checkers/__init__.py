@@ -19,13 +19,23 @@ RPR008    ``print()`` without an explicit stream outside the CLI
 RPR009    deprecated override shims (``kernel_override`` & co.)
           used outside their shim module — use
           ``repro.api.RunContext``/``configure`` in-repo
+RPR010    layering: the declared layer DAG (pyproject
+          ``[tool.repro-lint.layers]``) forbids upward and cyclic
+          imports — cross-file, runs on the project model
+RPR011    blocking-in-async: coroutine bodies in the async packages
+          must not reach sync I/O, transitively through the call index
+RPR012    lock discipline: attributes mutated by thread-entry code
+          need the owning lock or a ``shared-state=<why>`` annotation
+RPR013    unawaited coroutine / fire-and-forget ``create_task``
 ========  ==============================================================
 """
 
 from repro.lint.checkers import (  # noqa: F401  (register rules on import)
+    concurrency,
     deprecated,
     determinism,
     hygiene,
+    layering,
     schema,
     serialization,
     slots,

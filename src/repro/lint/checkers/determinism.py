@@ -210,7 +210,10 @@ def check_determinism(
 ) -> Iterator[Finding]:
     if not path_matches(module.package_path, config.determinism_modules):
         return
-    if path_matches(module.package_path, config.determinism_exempt):
+    # Exemptions: the blessed randomness module plus the declared
+    # wall-clock seams (one sanctioned clock boundary per package).
+    exempt = list(config.determinism_exempt) + list(config.wall_clock_seams)
+    if path_matches(module.package_path, exempt):
         return
     visitor = _DeterminismVisitor(module)
     visitor.visit(module.tree)

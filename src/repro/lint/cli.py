@@ -16,7 +16,9 @@ from repro.lint.config import find_project_root, load_config
 from repro.lint.engine import LintEngine
 from repro.lint.reporters import (
     RunOutcome,
+    render_dot,
     render_json,
+    render_sarif,
     render_stats,
     render_text,
 )
@@ -30,8 +32,9 @@ def add_lint_arguments(parser) -> None:
         "paths, i.e. src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is the CI artifact format)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json is the CI artifact format, sarif the "
+        "code-scanning upload format)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -47,6 +50,16 @@ def add_lint_arguments(parser) -> None:
         help="grandfather all current findings into the baseline file "
         "(keeps existing reasons; new entries get a TODO reason to "
         "justify in review) and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that no longer match any finding "
+        "(paid-down debt) and rewrite the file; exits 0",
+    )
+    parser.add_argument(
+        "--graph", choices=("dot",), default=None,
+        help="instead of linting, print the pass-1 import graph "
+        "collapsed to the configured layers (Graphviz source)",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -76,6 +89,10 @@ def run_lint(args) -> int:
 
     engine = LintEngine(config, root)
     try:
+        if args.graph:
+            print(render_dot(engine.build_model(args.paths or None), config),
+                  file=out)
+            return 0
         report = engine.run(args.paths or None)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -97,6 +114,26 @@ def run_lint(args) -> int:
         )
         if args.stats:
             print(render_stats(report), file=out)
+        return 0
+
+    if args.prune_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _, _, stale = baseline.split(report.findings)
+        stale_fingerprints = {entry.fingerprint for entry in stale}
+        baseline.entries = [
+            entry for entry in baseline.entries
+            if entry.fingerprint not in stale_fingerprints
+        ]
+        baseline.write(baseline_path)
+        print(
+            f"baseline pruned: {len(stale)} stale entr(y/ies) removed, "
+            f"{len(baseline.entries)} kept in {baseline_path}",
+            file=out,
+        )
         return 0
 
     if args.no_baseline:
@@ -124,6 +161,8 @@ def run_lint(args) -> int:
     )
     if args.format == "json":
         print(render_json(outcome), file=out)
+    elif args.format == "sarif":
+        print(render_sarif(outcome), file=out)
     else:
         print(render_text(outcome, stats=args.stats), file=out)
     return outcome.exit_code

@@ -14,7 +14,8 @@ can override any of them from ``pyproject.toml``::
 
 Parsing uses :mod:`tomllib` where available (Python 3.11+).  On 3.10 a
 minimal fallback parser handles the subset this table needs (string,
-bool, integer, and flat string-list values) so the linter stays
+bool, integer, flat string-list values, and the one nested
+``[tool.repro-lint.layers]`` sub-table) so the linter stays
 zero-dependency everywhere the repo supports.
 """
 
@@ -44,11 +45,16 @@ class LintConfig:
         "repro/workloads", "repro/obs", "repro/serve", "repro/dist",
         "repro/realio", "repro/netutil.py",
     ])
-    #: The blessed randomness module itself (and any other exemptions);
-    #: repro/serve/clock.py and repro/realio/clock.py are their
-    #: packages' one injected wall-clock seam each (see docstrings).
+    #: The blessed randomness module itself (and any other exemptions).
+    #: Wall-clock seam modules live in :attr:`wall_clock_seams` instead.
     determinism_exempt: list[str] = field(default_factory=lambda: [
         "repro/sim/random_streams.py",
+    ])
+    #: The injected wall-clock seams: the only modules allowed to touch
+    #: ``time.time``/``monotonic`` inside determinism-checked packages.
+    #: One list, consumed by both the determinism rule and the docs —
+    #: each entry is a package's single sanctioned clock boundary.
+    wall_clock_seams: list[str] = field(default_factory=lambda: [
         "repro/serve/clock.py",
         "repro/realio/clock.py",
     ])
@@ -92,6 +98,41 @@ class LintConfig:
     #: Modules allowed to call ``print()`` without an explicit stream.
     print_allowed: list[str] = field(default_factory=lambda: [
         "repro/cli.py", "repro/lint",
+    ])
+
+    # -- RPR010 layering -------------------------------------------------------
+    #: Layer name -> list of module prefixes belonging to that layer.
+    #: Declared as the nested ``[tool.repro-lint.layers]`` table.
+    layers: dict = field(default_factory=lambda: {
+        "model": [
+            "repro/sim", "repro/core", "repro/disks", "repro/faults",
+            "repro/workloads", "repro/mergesort", "repro/io", "repro/obs",
+            "repro/api.py", "repro/netutil.py", "repro/__init__.py",
+        ],
+        "engine": ["repro/sweep", "repro/analysis"],
+        "services": [
+            "repro/serve", "repro/dist", "repro/realio", "repro/bench",
+            "repro/experiments",
+        ],
+        "cli": ["repro/cli.py", "repro/__main__.py", "repro/lint"],
+    })
+    #: Layer names from lowest (imported by everyone) to highest.  A
+    #: module may import its own layer or any *earlier* layer; importing
+    #: a later layer is an upward dependency and a finding.
+    layer_order: list[str] = field(default_factory=lambda: [
+        "model", "engine", "services", "cli",
+    ])
+
+    # -- RPR011/RPR013 async rules ---------------------------------------------
+    #: Packages whose ``async def`` bodies must not (transitively) block.
+    async_blocking_modules: list[str] = field(default_factory=lambda: [
+        "repro/serve", "repro/dist",
+    ])
+
+    # -- RPR012 lock discipline ------------------------------------------------
+    #: Packages where shared attribute writes need a lock or annotation.
+    lock_discipline_modules: list[str] = field(default_factory=lambda: [
+        "repro/realio", "repro/dist", "repro/serve",
     ])
 
     def is_disabled(self, rule_id: str) -> bool:
@@ -191,19 +232,42 @@ def _fallback_parse_table(text: str, table: str) -> dict:
     return values
 
 
+def _fallback_subtables(text: str, table: str) -> list[str]:
+    """Names of ``[<table>.<name>]`` sub-tables present in ``text``."""
+    prefix = table + "."
+    names = []
+    for raw_line in text.splitlines():
+        match = _TABLE_RE.match(_strip_comment(raw_line))
+        if match:
+            name = match.group("name").strip()
+            if name.startswith(prefix):
+                names.append(name[len(prefix):])
+    return names
+
+
 def load_pyproject_table(pyproject: Path) -> dict:
-    """The raw ``[tool.repro-lint]`` table, or ``{}`` when absent."""
+    """The raw ``[tool.repro-lint]`` table, or ``{}`` when absent.
+
+    Nested sub-tables (``[tool.repro-lint.layers]``) come back as dict
+    values under their sub-table name, matching tomllib's shape.
+    """
     if not pyproject.is_file():
         return {}
     try:
         import tomllib
     except ImportError:  # Python 3.10: minimal fallback parser
-        return _fallback_parse_table(
-            pyproject.read_text(encoding="utf-8"), 'tool.repro-lint'
-        )
+        return _fallback_load(pyproject.read_text(encoding="utf-8"))
     with open(pyproject, "rb") as handle:
         data = tomllib.load(handle)
     return data.get("tool", {}).get("repro-lint", {})
+
+
+def _fallback_load(text: str) -> dict:
+    """The whole ``[tool.repro-lint]`` table (with sub-tables), no tomllib."""
+    values = _fallback_parse_table(text, "tool.repro-lint")
+    for sub in _fallback_subtables(text, "tool.repro-lint"):
+        values[sub] = _fallback_parse_table(text, f"tool.repro-lint.{sub}")
+    return values
 
 
 def load_config(root: Path) -> LintConfig:
@@ -228,6 +292,8 @@ def load_config(root: Path) -> LintConfig:
             raise ValueError(f"[tool.repro-lint] {raw_key!r} must be a list")
         if isinstance(default, str) and not isinstance(value, str):
             raise ValueError(f"[tool.repro-lint] {raw_key!r} must be a string")
+        if isinstance(default, dict) and not isinstance(value, dict):
+            raise ValueError(f"[tool.repro-lint] {raw_key!r} must be a table")
         setattr(config, attr, value)
     return config
 

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import build_project_model
 from repro.lint.registry import ModuleInfo, all_rules
 from repro.lint.suppress import Suppressions
 
@@ -117,6 +118,26 @@ class LintEngine:
         except ValueError:
             return path.as_posix()
 
+    def build_model(self, paths: list[str] | None = None):
+        """Pass 1 alone: the :class:`ProjectModel` for ``paths``.
+
+        Unparseable files are skipped (``run`` is where they become
+        RPR000 findings); this exists for consumers that want the model
+        without a lint verdict, like ``repro lint --graph dot``.
+        """
+        modules: list[ModuleInfo] = []
+        for path in self.collect_files(paths):
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue
+            modules.append(ModuleInfo(
+                path=path, relpath=self._relpath(path), source=source,
+                tree=tree,
+            ))
+        return build_project_model(modules)
+
     # -- the run -------------------------------------------------------------
 
     def run(self, paths: list[str] | None = None) -> LintReport:
@@ -128,6 +149,7 @@ class LintEngine:
         ]
         file_rules = [rule for rule in rules if rule.scope == "file"]
         project_rules = [rule for rule in rules if rule.scope == "project"]
+        model_rules = [rule for rule in rules if rule.scope == "model"]
 
         findings: list[Finding] = []
         suppressed = 0
@@ -162,24 +184,33 @@ class LintEngine:
                     else:
                         findings.append(finding)
 
+        def admit(finding: Finding) -> None:
+            nonlocal suppressed
+            module_suppressions = suppressions.get(finding.path)
+            if module_suppressions is None:
+                target = self.root / finding.path
+                if target.is_file():
+                    module_suppressions = Suppressions.parse(
+                        target.read_text(encoding="utf-8")
+                    )
+                    suppressions[finding.path] = module_suppressions
+            if module_suppressions is not None and (
+                module_suppressions.is_suppressed(finding.rule, finding.line)
+            ):
+                suppressed += 1
+            else:
+                findings.append(finding)
+
         for rule in project_rules:
             for finding in rule.check(modules, self.config, self.root):
-                module_suppressions = suppressions.get(finding.path)
-                if module_suppressions is None:
-                    target = self.root / finding.path
-                    if target.is_file():
-                        module_suppressions = Suppressions.parse(
-                            target.read_text(encoding="utf-8")
-                        )
-                        suppressions[finding.path] = module_suppressions
-                if module_suppressions is not None and (
-                    module_suppressions.is_suppressed(
-                        finding.rule, finding.line
-                    )
-                ):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+                admit(finding)
+
+        if model_rules:
+            # Pass 2: one whole-repo model, shared by every model rule.
+            model = build_project_model(modules)
+            for rule in model_rules:
+                for finding in rule.check(model, self.config, self.root):
+                    admit(finding)
 
         findings.sort()
         return LintReport(

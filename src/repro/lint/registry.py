@@ -1,13 +1,17 @@
 """The rule registry: stable ids, severities, and the rule protocol.
 
-Rules come in two scopes:
+Rules come in three scopes:
 
 * **file** rules get one parsed module at a time (:class:`ModuleInfo`)
   and yield findings for it — most rules work this way;
 * **project** rules run once per lint invocation with access to the
   whole file set and the project root — used for cross-module checks
   like the cache-key schema rule, which must compare
-  ``core/parameters.py`` against ``sweep/keys.py``.
+  ``core/parameters.py`` against ``sweep/keys.py``;
+* **model** rules run once against the pass-1
+  :class:`~repro.lint.project.ProjectModel` (import graph plus
+  function/call index) — the layering, blocking-in-async,
+  lock-discipline, and unawaited-coroutine rules live here.
 
 Every rule registers under a stable ``RPRxxx`` id via
 :func:`register`; ids are never reused, so baselines and inline
@@ -68,9 +72,10 @@ class Rule:
     name: str
     severity: Severity
     rationale: str  #: which reproduction invariant the rule protects
-    scope: str  #: ``"file"`` or ``"project"``
+    scope: str  #: ``"file"``, ``"project"``, or ``"model"``
     #: file scope: ``check(module, config) -> Iterator[Finding]``
     #: project scope: ``check(modules, config, root) -> Iterator[Finding]``
+    #: model scope: ``check(model, config, root) -> Iterator[Finding]``
     check: Callable = field(compare=False)
 
 
@@ -85,7 +90,7 @@ def register(
     scope: str = "file",
 ) -> Callable:
     """Decorator registering a checking function under ``rule_id``."""
-    if scope not in ("file", "project"):
+    if scope not in ("file", "project", "model"):
         raise ValueError(f"unknown rule scope {scope!r}")
 
     def decorate(check: Callable) -> Callable:

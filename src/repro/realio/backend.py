@@ -212,10 +212,15 @@ class RealMerge:
             queue.Queue() for _ in range(dataset.num_disks)
         ]
         self._threads: list[threading.Thread] = []
+        # Guards the cross-thread result collections below: every
+        # reader thread appends to them concurrently.
+        self._results_lock = threading.Lock()
         self._reader_errors: list[BaseException] = []
-        self._head_cylinder = [0] * dataset.num_disks
+        # One slot per disk, written only by that disk's reader thread;
+        # the merge thread reads it between requests for seek planning.
+        self._head_cylinder = [0] * dataset.num_disks  # repro-lint: shared-state=single-writer: slot [d] is owned by disk d's reader thread
         self._stats = [DriveStats() for _ in range(dataset.num_disks)]
-        self._intervals: list[list[tuple[float, float]]] = [
+        self._intervals: list[list[tuple[float, float]]] = [  # repro-lint: shared-state=single-writer: list [d] is owned by disk d's reader thread, read after join
             [] for _ in range(dataset.num_disks)
         ]
         self.samples: list[ReadSample] = []
@@ -322,14 +327,15 @@ class RealMerge:
                     (service_start - self._epoch_ms,
                      service_end - self._epoch_ms)
                 )
-                self.samples.append(ReadSample(
-                    disk=disk,
-                    seek_cylinders=distance,
-                    blocks=request.count,
-                    service_ms=service_ms,
-                    queue_wait_ms=queue_wait_ms,
-                    demand=request.demand,
-                ))
+                with self._results_lock:
+                    self.samples.append(ReadSample(
+                        disk=disk,
+                        seek_cylinders=distance,
+                        blocks=request.count,
+                        service_ms=service_ms,
+                        queue_wait_ms=queue_wait_ms,
+                        demand=request.demand,
+                    ))
                 trace = self.trace
                 if trace is not None:
                     kind = (EventKind.DEMAND_FETCH if request.demand
@@ -349,7 +355,8 @@ class RealMerge:
         except BaseException as exc:  # noqa: BLE001 - relayed to the merge
             # Thread isolation boundary: the merge thread times out on
             # its demand wait and re-raises this as the trial's error.
-            self._reader_errors.append(exc)
+            with self._results_lock:
+                self._reader_errors.append(exc)
 
     # -- issuing fetches -----------------------------------------------------
     def _submit(self, run: int, count: int, demand: bool) -> None:

@@ -399,7 +399,11 @@ class SimulationServer:
         Returns ``(trials_in_order, hit_count, coalesced_count)``.
         """
         config = request.config
-        hits, misses = self.cache.lookup_trials(config)
+        # The store hits the filesystem (one open() per trial): keep it
+        # off the event loop so a cold cache can't stall other requests.
+        hits, misses = await self._loop.run_in_executor(
+            None, self.cache.lookup_trials, config
+        )
         if hits:
             self.metrics.counter("serve_cache", outcome="hit").inc(len(hits))
         results: dict[int, MergeMetrics] = dict(hits)
@@ -426,7 +430,11 @@ class SimulationServer:
             async with self.admission.slot(wait=wait):
                 payload = await self._execute(config, trial)
             self.metrics.counter("serve_computed").inc()
-            return self.cache.store_trial(config, trial, payload)
+            # store_trial writes through atomic_write_json (mkstemp +
+            # rename): blocking file I/O belongs on the executor.
+            return await self._loop.run_in_executor(
+                None, self.cache.store_trial, config, trial, payload
+            )
 
         metrics, coalesced = await self.flights.run(key, flight)
         return trial, metrics, coalesced
@@ -511,7 +519,9 @@ class SimulationServer:
         try:
             cells = []
             for config in spec.cells():
-                hits, misses = self.cache.lookup_trials(config)
+                hits, misses = await self._loop.run_in_executor(
+                    None, self.cache.lookup_trials, config
+                )
                 if hits:
                     self.metrics.counter(
                         "serve_cache", outcome="hit"

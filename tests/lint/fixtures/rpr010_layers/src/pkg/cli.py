@@ -1,0 +1,7 @@
+"""Top layer: the only module allowed to see everything below."""
+
+from pkg.svc.server import serve
+
+
+def main() -> int:
+    return serve(3)

@@ -1,0 +1,5 @@
+"""Lowest layer: pure computation, no upward dependencies."""
+
+
+def simulate(k: int) -> int:
+    return 2 * k

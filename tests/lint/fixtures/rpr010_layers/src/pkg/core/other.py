@@ -1,0 +1,7 @@
+"""Second core module: same-layer imports are legal, cycles are not."""
+
+from pkg.core import engine
+
+
+def double_simulate(k: int) -> int:
+    return engine.simulate(engine.simulate(k))

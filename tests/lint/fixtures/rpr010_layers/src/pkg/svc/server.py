@@ -1,0 +1,7 @@
+"""Middle layer: serves the core computation downward only."""
+
+from pkg.core import engine
+
+
+def serve(k: int) -> int:
+    return engine.simulate(k)

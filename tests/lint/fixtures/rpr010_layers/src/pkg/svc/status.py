@@ -1,0 +1,3 @@
+"""A leaf service module: the upward-injection test's target."""
+
+READY = "ready"

@@ -1,0 +1,47 @@
+"""RPR011 fixture: blocking calls on the event loop, direct and transitive.
+
+Linted as if it lived in ``repro/serve``; the same source under
+``repro/sim`` must produce nothing (the rule is scoped to the async
+service packages).
+"""
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+async def handler():
+    time.sleep(0.1)  # expect: blocking call time.sleep()
+    payload = open("payload.json").read()  # expect: blocking call open()
+    subprocess.run(["true"])  # expect: blocking call subprocess.run()
+    out = Path("out.json")
+    out.write_text(payload)  # expect: blocking call .write_text()
+    await asyncio.sleep(0)  # good: the async sleep never blocks the loop
+
+
+async def joins_executor(pool):
+    return pool.submit(work).result()  # expect: .submit(...).result()
+
+
+async def transitive():
+    return _store()  # expect: reaches blocking open() via transitive -> _store -> _flush
+
+
+def _store():
+    return _flush()
+
+
+def _flush():
+    # good: a sync helper may block — the offence is reaching it from a
+    # coroutine, reported at the call site inside ``transitive``.
+    with open("state.json", "w") as handle:
+        handle.write("{}")
+
+
+def work():
+    time.sleep(1.0)  # good: runs on an executor thread, not the loop
+
+
+async def clean(loop):
+    return await loop.run_in_executor(None, work)  # good: the fix pattern

@@ -1,0 +1,41 @@
+"""RPR012 fixture: shared-state mutations with and without the lock.
+
+Linted as if it lived in ``repro/realio``; the same source under
+``repro/sim`` is out of scope and must produce nothing.
+"""
+
+import threading
+
+
+class Collector:
+    def __init__(self, limit: int):
+        self._lock = threading.Lock()
+        self.samples = []
+        self.errors = 0
+        self.blocks_read = 0  # repro-lint: shared-state=monotonic stat; torn reads tolerated
+        self.tag = "idle"
+        self.limit = limit
+
+    def start(self):
+        worker = threading.Thread(target=self._reader_loop, name="reader")
+        worker.start()
+        return worker
+
+    def _reader_loop(self):
+        with self._lock:
+            self.samples.append(1)  # good: held under the owning lock
+        self.errors += 1  # expect: unlocked write to shared attribute self.errors
+        self.errors += 1  # repro-lint: shared-state=best-effort tally, races tolerated
+        self.blocks_read += 1  # good: annotated at its __init__ assignment
+        self._finish()
+
+    def _finish(self):
+        self.samples.append(2)  # expect: unlocked write to shared attribute self.samples
+
+    def ingest(self, value):
+        # Shared state is shared from every thread: the main thread gets
+        # no exemption once a reader thread also mutates the attribute.
+        self.samples.append(value)  # expect: unlocked write to shared attribute self.samples
+
+    def rename(self, tag):
+        self.tag = tag  # good: never touched by thread-reachable code

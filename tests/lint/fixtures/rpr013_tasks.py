@@ -1,0 +1,31 @@
+"""RPR013 fixture: dropped coroutines and fire-and-forget tasks.
+
+Linted as if it lived in ``repro/serve``; the same source under
+``repro/analysis`` is out of scope and must produce nothing.
+"""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+async def broken(loop):
+    work()  # expect: coroutine work() is neither awaited nor bound
+    loop.create_task(work())  # expect: fire-and-forget task in broken
+    await work()  # good: awaited
+    handle = loop.create_task(work())  # good: the handle is bound
+    return await handle
+
+
+def sync_scheduler():
+    # A sync function gets no exemption: the bare call still builds a
+    # coroutine object that nothing will ever run.
+    work()  # expect: coroutine work() is neither awaited nor bound
+    pending = work()  # good: bound for a later gather
+    return pending
+
+
+async def gathered():
+    return await asyncio.gather(work(), work())  # good: consumed by gather

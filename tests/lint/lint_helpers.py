@@ -55,3 +55,16 @@ def run_rule(rule_id: str, module: ModuleInfo, config: LintConfig | None = None)
     """Sorted findings from one file-scope rule over one module."""
     rule = get_rule(rule_id)
     return sorted(rule.check(module, config or LintConfig()))
+
+
+def run_model_rule(
+    rule_id: str,
+    modules: list[ModuleInfo],
+    config: LintConfig | None = None,
+):
+    """Sorted findings from one model-scope rule over a module set."""
+    from repro.lint.project import build_project_model
+
+    rule = get_rule(rule_id)
+    model = build_project_model(modules)
+    return sorted(rule.check(model, config or LintConfig(), REPO_ROOT))

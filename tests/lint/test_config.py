@@ -4,6 +4,7 @@ import pytest
 
 from repro.lint.config import (
     LintConfig,
+    _fallback_load,
     _fallback_parse_table,
     find_project_root,
     load_config,
@@ -75,13 +76,39 @@ def test_fallback_parser_handles_the_shipped_table():
 
 
 def test_fallback_parser_agrees_with_tomllib_on_the_real_file():
+    # Covers the nested [tool.repro-lint.layers] sub-table too: the
+    # 3.10 fallback must see exactly what tomllib sees.
     import tomllib
 
     from lint_helpers import REPO_ROOT
 
     text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     expected = tomllib.loads(text).get("tool", {}).get("repro-lint", {})
-    assert _fallback_parse_table(text, "tool.repro-lint") == expected
+    assert _fallback_load(text) == expected
+
+
+def test_fallback_parser_reads_nested_layer_tables():
+    text = (
+        "[tool.repro-lint]\n"
+        'layer-order = ["low", "high"]\n'
+        "[tool.repro-lint.layers]\n"
+        'low = ["pkg/core"]\n'
+        "high = [\n"
+        '    "pkg/cli.py",\n'
+        "]\n"
+    )
+    assert _fallback_load(text) == {
+        "layer-order": ["low", "high"],
+        "layers": {"low": ["pkg/core"], "high": ["pkg/cli.py"]},
+    }
+
+
+def test_layers_must_be_a_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\nlayers = ["model"]\n', encoding="utf-8"
+    )
+    with pytest.raises(ValueError, match="must be a table"):
+        load_config(tmp_path)
 
 
 def test_find_project_root_walks_up(tmp_path):

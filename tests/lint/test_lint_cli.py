@@ -65,7 +65,7 @@ def test_json_format_is_the_machine_readable_contract(capsys):
     assert payload["stale_baseline_entries"] == []
     assert payload["baseline"] == "lint-baseline.json"
     assert payload["stats"]["files_scanned"] > 20
-    assert payload["stats"]["rules_run"] == 9
+    assert payload["stats"]["rules_run"] == 13
 
 
 def test_no_baseline_exposes_exactly_the_grandfathered_findings(capsys):
@@ -142,6 +142,66 @@ def test_write_baseline_preserves_existing_reasons(tmp_path, capsys):
     capsys.readouterr()
     rebuilt = Baseline.load(path)
     assert rebuilt.entries[0].reason == "deliberate: legacy clock shim"
+
+
+def test_prune_baseline_removes_stale_entries_and_is_idempotent(
+    tmp_path, capsys
+):
+    root = _tmp_project(tmp_path)
+    _lint(["--root", str(root), "--write-baseline"])
+    capsys.readouterr()
+    # Fixing the violation strands its baseline entry.
+    (root / "src" / "repro" / "sim" / "clock.py").write_text(
+        _CLEAN, encoding="utf-8"
+    )
+    assert _lint(["--root", str(root), "--prune-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline pruned: 1 stale entr(y/ies) removed, 0 kept" in out
+    assert Baseline.load(root / "lint-baseline.json").entries == []
+    # Pruning the already-clean baseline is a no-op.
+    assert _lint(["--root", str(root), "--prune-baseline"]) == 0
+    assert "0 stale entr(y/ies) removed, 0 kept" in capsys.readouterr().out
+    # And the ordinary run stops nagging about staleness.
+    assert _lint(["--root", str(root)]) == 0
+    assert "stale" not in capsys.readouterr().out
+
+
+def test_prune_baseline_keeps_entries_that_still_fire(tmp_path, capsys):
+    root = _tmp_project(tmp_path)
+    _lint(["--root", str(root), "--write-baseline"])
+    capsys.readouterr()
+    assert _lint(["--root", str(root), "--prune-baseline"]) == 0
+    assert "0 stale entr(y/ies) removed, 1 kept" in capsys.readouterr().out
+
+
+def test_sarif_format_carries_rule_metadata_and_suppressions(capsys):
+    code = _lint(["src", "--root", str(REPO_ROOT), "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert [rule["id"] for rule in rules] == [
+        f"RPR{index:03d}" for index in range(1, 14)
+    ]
+    assert all(rule["fullDescription"]["text"] for rule in rules)
+    # The committed tree is clean, so every result is grandfathered and
+    # must carry the SARIF suppression block naming the baseline.
+    assert run["results"], "expected the baselined findings as results"
+    for result in run["results"]:
+        suppression = result["suppressions"][0]
+        assert suppression["kind"] == "external"
+        assert "lint-baseline.json" in suppression["justification"]
+
+
+def test_graph_dot_renders_the_layered_import_graph(capsys):
+    assert _lint(["src", "--root", str(REPO_ROOT), "--graph", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph repro_layers {")
+    for layer in ("model", "engine", "services", "cli"):
+        assert f'label="{layer}"' in out
+    # A known downward edge: the serve layer reads the sweep cache.
+    assert '"repro.serve" -> "repro.sweep"' in out
 
 
 # -- error handling ----------------------------------------------------------

@@ -1,0 +1,120 @@
+"""Pass 1 of the analyzer: module names, import edges, call resolution.
+
+These pin the model-construction behaviors the cross-file rules lean
+on: submodule retargeting (so re-exporting packages are not cyclic by
+construction), the TYPE_CHECKING and function-scope exclusions, and
+attribute-type inference deep enough to resolve ``self.store.put``.
+"""
+
+from lint_helpers import module_from_source
+from repro.lint.project import build_project_model, module_name_for
+
+
+def _model(*pairs):
+    return build_project_model(
+        [module_from_source(source, relpath) for relpath, source in pairs]
+    )
+
+
+def test_module_names_strip_src_suffixes_and_package_inits():
+    assert module_name_for("repro/serve/server.py") == "repro.serve.server"
+    assert module_name_for("repro/serve/__init__.py") == "repro.serve"
+    assert module_name_for("repro/netutil.py") == "repro.netutil"
+
+
+def test_from_package_import_retargets_to_the_submodule():
+    # ``from a import b`` depends on the submodule ``a.b``, not on the
+    # package __init__ that happens to expose it.
+    model = _model(
+        ("src/a/__init__.py", ""),
+        ("src/a/b.py", "X = 1\n"),
+        ("src/c.py", "from a import b\n"),
+    )
+    assert model.import_graph()["c"] == {"a.b"}
+
+
+def test_from_module_import_symbol_lands_on_the_defining_module():
+    model = _model(
+        ("src/a/__init__.py", ""),
+        ("src/a/b.py", "X = 1\n"),
+        ("src/c.py", "from a.b import X\n"),
+    )
+    assert model.import_graph()["c"] == {"a.b"}
+    assert model.modules["c"].name_table["X"] == "a.b.X"
+
+
+def test_type_checking_imports_are_not_runtime_edges():
+    model = _model(
+        ("src/a/__init__.py", ""),
+        ("src/a/b.py", "X = 1\n"),
+        ("src/c.py",
+         "from typing import TYPE_CHECKING\n"
+         "if TYPE_CHECKING:\n"
+         "    from a import b\n"),
+    )
+    assert model.import_graph()["c"] == set()
+    # The edge itself is kept (name resolution still wants it), only
+    # demoted from the runtime graph.
+    assert any(
+        edge.imported == "a.b" and not edge.top_level
+        for edge in model.modules["c"].imports
+    )
+
+
+def test_function_scoped_imports_are_not_runtime_edges():
+    model = _model(
+        ("src/a/__init__.py", ""),
+        ("src/a/b.py", "X = 1\n"),
+        ("src/c.py",
+         "def late():\n"
+         "    from a import b\n"
+         "    return b\n"),
+    )
+    assert model.import_graph()["c"] == set()
+
+
+def test_self_import_never_becomes_a_graph_edge():
+    model = _model(("src/a/__init__.py", ""), ("src/a/b.py", "import a.b\n"))
+    assert model.import_graph()["a.b"] == set()
+
+
+def test_resolution_follows_inferred_attribute_types():
+    model = _model(
+        ("src/pkg/__init__.py", ""),
+        ("src/pkg/store.py",
+         "class Store:\n"
+         "    def put(self, key):\n"
+         "        return key\n"),
+        ("src/pkg/service.py",
+         "import threading\n"
+         "from pkg.store import Store\n"
+         "class Service:\n"
+         "    def __init__(self, store: Store):\n"
+         "        self._lock = threading.Lock()\n"
+         "        self.store = store\n"
+         "    def handle(self, key):\n"
+         "        return self.store.put(key)\n"),
+    )
+    service = model.modules["pkg.service"]
+    handle = service.functions["Service.handle"]
+    target = model.resolve_function(handle, "self.store.put")
+    assert target is not None
+    assert (target.module, target.qualname) == ("pkg.store", "Store.put")
+    # Resolution is an under-approximation: unknowns stay None.
+    assert model.resolve_function(handle, "self.mystery.put") is None
+    # The lock inventory feeds RPR012's with-statement detection.
+    assert service.classes["Service"].lock_attrs == {"_lock"}
+
+
+def test_nested_and_async_defs_are_indexed_with_qualnames():
+    model = _model(
+        ("src/m.py",
+         "async def outer():\n"
+         "    def inner():\n"
+         "        return 1\n"
+         "    return inner\n"),
+    )
+    functions = model.modules["m"].functions
+    assert functions["outer"].is_async
+    assert not functions["outer.inner"].is_async
+    assert functions["outer.inner"].class_name is None

@@ -10,12 +10,15 @@ the marker text — and nothing else, which is the non-firing half: the
 import pytest
 
 from lint_helpers import (
+    FIXTURES,
     expected_markers,
     load_fixture,
     module_from_source,
+    run_model_rule,
     run_rule,
 )
-from repro.lint.config import LintConfig
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine
 from repro.lint.findings import Severity
 from repro.lint.registry import all_rules, get_rule, path_matches
 
@@ -61,6 +64,112 @@ def test_rule_reports_exactly_the_marked_lines(
         assert substring in finding.message
 
 
+#: Model-scope concurrency rules: (rule id, fixture, fabricated path).
+#: RPR010 has its own fixture *package* and suite in test_layering.py.
+MODEL_GOLDEN_CASES = [
+    ("RPR011", "rpr011_async.py", "src/repro/serve/lint_fixture.py"),
+    ("RPR012", "rpr012_locks.py", "src/repro/realio/lint_fixture.py"),
+    ("RPR013", "rpr013_tasks.py", "src/repro/serve/lint_fixture.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,relpath",
+    MODEL_GOLDEN_CASES,
+    ids=[case[0] for case in MODEL_GOLDEN_CASES],
+)
+def test_model_rule_reports_exactly_the_marked_lines(
+    rule_id, fixture, relpath
+):
+    module = load_fixture(fixture, relpath)
+    expected = expected_markers(module)
+    assert expected, f"{fixture} must mark at least one violation"
+    findings = run_model_rule(rule_id, [module])
+    assert [f.line for f in findings] == [line for line, _ in expected]
+    for finding, (line, substring) in zip(findings, expected):
+        assert finding.rule == rule_id
+        assert finding.line == line
+        assert finding.path == relpath
+        assert finding.severity is Severity.ERROR
+        assert substring in finding.message
+
+
+#: The same fixtures fabricated outside the rules' configured packages.
+MODEL_OUT_OF_SCOPE = [
+    ("RPR011", "rpr011_async.py", "src/repro/analysis/lint_fixture.py"),
+    ("RPR012", "rpr012_locks.py", "src/repro/sim/lint_fixture.py"),
+    ("RPR013", "rpr013_tasks.py", "src/repro/analysis/lint_fixture.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,relpath",
+    MODEL_OUT_OF_SCOPE,
+    ids=[case[0] for case in MODEL_OUT_OF_SCOPE],
+)
+def test_model_rule_is_silent_outside_its_modules(rule_id, fixture, relpath):
+    module = load_fixture(fixture, relpath)
+    assert run_model_rule(rule_id, [module]) == []
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,relpath",
+    MODEL_GOLDEN_CASES,
+    ids=[case[0] for case in MODEL_GOLDEN_CASES],
+)
+def test_inline_disable_suppresses_model_findings(
+    tmp_path, rule_id, fixture, relpath
+):
+    # Append a disable comment to every marked line and run the full
+    # engine: the suppression must travel from file text to model-rule
+    # findings, which land after the per-file pass.
+    lines = (FIXTURES / fixture).read_text(encoding="utf-8").splitlines()
+    marked = [i for i, line in enumerate(lines) if "# expect:" in line]
+    assert marked
+    for index in marked:
+        lines[index] += f"  # repro-lint: disable={rule_id}"
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\ndisable = ["RPR003"]\n', encoding="utf-8"
+    )
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True)
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    report = LintEngine(load_config(tmp_path), tmp_path).run()
+    assert [f for f in report.findings if f.rule == rule_id] == []
+    assert report.suppressed == len(marked)
+
+
+def test_transitive_blocking_chain_crosses_module_boundaries():
+    # The helper chain lives two modules away from the coroutine; the
+    # finding must land on the call line *inside* the coroutine and
+    # name the full chain to the sink.
+    handler = module_from_source(
+        "from repro.serve.storage import persist\n"
+        "async def handle(payload):\n"
+        "    return persist(payload)\n",
+        "src/repro/serve/handlers.py",
+    )
+    storage = module_from_source(
+        "from repro.serve.diskio import flush\n"
+        "def persist(payload):\n"
+        "    return flush(payload)\n",
+        "src/repro/serve/storage.py",
+    )
+    diskio = module_from_source(
+        "def flush(payload):\n"
+        "    with open('state.json', 'w') as handle:\n"
+        "        handle.write(payload)\n",
+        "src/repro/serve/diskio.py",
+    )
+    findings = run_model_rule("RPR011", [handler, storage, diskio])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "src/repro/serve/handlers.py"
+    assert finding.line == 3
+    assert "handle -> persist -> flush" in finding.message
+    assert "repro.serve.diskio:2" in finding.message
+
+
 #: Scoped rules go silent when the same fixture lives outside their
 #: configured modules.
 OUT_OF_SCOPE_CASES = [
@@ -93,14 +202,16 @@ def test_broad_except_needs_retry_scope_but_bare_except_does_not():
     assert not any("worker/retry" in message for message in messages)
 
 
-def test_registry_covers_all_nine_rules_with_stable_ids():
+def test_registry_covers_all_thirteen_rules_with_stable_ids():
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == [
-        f"RPR00{index}" for index in range(1, 10)
+        f"RPR{index:03d}" for index in range(1, 14)
     ]
     assert all(rule.rationale for rule in rules)
-    assert {rule.scope for rule in rules} == {"file", "project"}
+    assert {rule.scope for rule in rules} == {"file", "project", "model"}
     assert get_rule("RPR003").scope == "project"
+    for rule_id in ("RPR010", "RPR011", "RPR012", "RPR013"):
+        assert get_rule(rule_id).scope == "model"
 
 
 def test_unknown_rule_id_is_a_clear_error():

@@ -1,0 +1,147 @@
+"""HTTP/1.1 framing edge cases for :mod:`repro.netutil`.
+
+The serve and dist suites exercise the happy path through real
+sockets; these tests pin the degenerate framings both servers must
+survive — truncated headers, oversize bodies, resets mid-body — by
+feeding an ``asyncio.StreamReader`` directly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.netutil import (
+    REQUEST_READ_ERRORS,
+    method_not_allowed,
+    read_http_request,
+    write_json_response,
+)
+
+
+def _read(payload: bytes, *, max_body_bytes: int = 1024, eof: bool = True):
+    """Run ``read_http_request`` against a reader holding ``payload``."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        if eof:
+            reader.feed_eof()
+        return await read_http_request(reader, max_body_bytes=max_body_bytes)
+
+    return asyncio.run(run())
+
+
+def test_well_formed_request_roundtrips():
+    request = _read(
+        b"POST /v1/simulate HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: 9\r\n"
+        b"\r\n"
+        b'{"k": 25}'
+    )
+    method, target, headers, body = request
+    assert (method, target) == ("POST", "/v1/simulate")
+    assert headers["content-length"] == "9"
+    assert body == b'{"k": 25}'
+
+
+def test_empty_request_line_means_peer_went_away():
+    assert _read(b"") is None
+    assert _read(b"\r\n") is None
+
+
+def test_malformed_request_line_raises_value_error():
+    with pytest.raises(ValueError, match="malformed request line"):
+        _read(b"GET /path\r\n\r\n")
+    # ValueError is in the drop-the-connection set both servers catch.
+    assert ValueError in REQUEST_READ_ERRORS
+
+
+def test_oversize_body_returns_none_body_for_413():
+    request = _read(
+        b"POST /v1/simulate HTTP/1.1\r\n"
+        b"Content-Length: 4096\r\n"
+        b"\r\n" + b"x" * 4096,
+        max_body_bytes=64,
+    )
+    method, target, headers, body = request
+    # Method/target/headers survive so the handler can answer 413
+    # without ever buffering the payload.
+    assert (method, target) == ("POST", "/v1/simulate")
+    assert headers["content-length"] == "4096"
+    assert body is None
+
+
+def test_truncated_headers_terminate_instead_of_hanging():
+    # The peer dies mid-header: the parser must hit EOF and return,
+    # never wait for a blank line that will not come.
+    request = _read(
+        b"GET /v1/metricz HTTP/1.1\r\n"
+        b"X-Partial-Head"
+    )
+    method, target, _headers, body = request
+    assert (method, target) == ("GET", "/v1/metricz")
+    assert body == b""
+
+
+def test_connection_reset_mid_body_raises_a_handled_error():
+    with pytest.raises(asyncio.IncompleteReadError):
+        _read(
+            b"POST /v1/simulate HTTP/1.1\r\n"
+            b"Content-Length: 100\r\n"
+            b"\r\n"
+            b"only 20 bytes arrive"
+        )
+    assert asyncio.IncompleteReadError in REQUEST_READ_ERRORS
+
+
+def test_header_names_fold_to_lower_case_and_values_strip():
+    request = _read(
+        b"GET / HTTP/1.1\r\n"
+        b"X-MiXeD-CaSe:   padded value  \r\n"
+        b"\r\n"
+    )
+    assert request[2]["x-mixed-case"] == "padded value"
+
+
+def test_empty_content_length_value_reads_as_zero():
+    request = _read(
+        b"GET / HTTP/1.1\r\n"
+        b"Content-Length:\r\n"
+        b"\r\n"
+    )
+    assert request[3] == b""
+
+
+class _Writer:
+    """Just enough of StreamWriter for write_json_response."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+
+def test_json_response_wire_format():
+    writer = _Writer()
+    asyncio.run(write_json_response(
+        writer, 413, {"error": "too-big"}, {"Retry-After": "1"}
+    ))
+    wire = b"".join(writer.chunks)
+    head, _, body = wire.partition(b"\r\n\r\n")
+    lines = head.decode("ascii").split("\r\n")
+    assert lines[0] == "HTTP/1.1 413 Payload Too Large"
+    assert "Connection: close" in lines
+    assert "Retry-After: 1" in lines
+    assert f"Content-Length: {len(body)}".encode() in wire
+    assert body == b'{"error": "too-big"}'
+
+
+def test_method_not_allowed_names_the_allowed_verb():
+    status, body, extra = method_not_allowed("POST")
+    assert status == 405
+    assert extra == {"Allow": "POST"}
+    assert "POST" in body["detail"]

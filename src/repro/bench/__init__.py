@@ -10,6 +10,7 @@ to ``BENCH_<scenario>.json`` files that the comparator
 from repro.bench.compare import (
     ComparisonRow,
     compare_reports,
+    missing_baseline_variants,
     regressions,
     render_comparison,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "compare_reports",
     "get_scenario",
     "measure",
+    "missing_baseline_variants",
     "peak_rss_kb",
     "percentile",
     "provenance",

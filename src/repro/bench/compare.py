@@ -80,6 +80,20 @@ def compare_reports(
     return rows
 
 
+def missing_baseline_variants(
+    baseline: BenchReport, current: BenchReport
+) -> list[str]:
+    """Current-report variants that have no baseline to compare against.
+
+    A newly registered kernel shows up in fresh reports before anyone
+    refreshes the committed baselines; that is progress, not a
+    regression, so these variants are *listed* for the operator rather
+    than raised (the inverse case — a baseline variant missing from the
+    current report — stays an error in :func:`compare_reports`).
+    """
+    return sorted(set(current.variants) - set(baseline.variants))
+
+
 def regressions(rows: list[ComparisonRow]) -> list[ComparisonRow]:
     """The subset of rows that exceeded the threshold."""
     return [row for row in rows if row.regressed]

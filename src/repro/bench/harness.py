@@ -217,7 +217,11 @@ class BenchReport:
                 f"rss {variant.peak_rss_kb} KiB"
             )
         if self.speedup is not None:
-            lines.append(f"  speedup   fast is {self.speedup:.2f}x reference")
+            if "reference" in self.variants:
+                pair = "fast is {:.2f}x reference"
+            else:
+                pair = "batch is {:.2f}x fast"
+            lines.append("  speedup   " + pair.format(self.speedup))
         return "\n".join(lines)
 
 
@@ -324,6 +328,10 @@ def run_scenario(
     speedup = None
     if "reference" in variants and "fast" in variants:
         speedup = variants["reference"].median_ns / variants["fast"].median_ns
+    elif "fast" in variants and "batch" in variants:
+        # Sweep-style scenarios without a reference variant: the
+        # headline is the batch tier's gain over per-trial fast.
+        speedup = variants["fast"].median_ns / variants["batch"].median_ns
     return BenchReport(
         scenario=scenario.name,
         description=scenario.description,

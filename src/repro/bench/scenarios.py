@@ -3,8 +3,9 @@
 A :class:`BenchScenario` names a fixed workload — simulator merge, sweep
 campaign, or analytical solve — with pinned seeds and scale, so the
 numbers in a ``BENCH_<scenario>.json`` mean the same thing on every
-commit.  Simulator scenarios run once per registered kernel
-(``reference`` and ``fast``); pure-analysis scenarios are
+commit.  Simulator scenarios run once per registered kernel (the
+:mod:`repro.sim.kernel` registry: ``reference``, ``fast``, ``batch``,
+plus anything registered later); pure-analysis scenarios are
 kernel-independent and record a single variant.
 
 ``workload_events`` is the scenario's nominal unit count used for the
@@ -20,6 +21,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
 from repro.faults.plan import transient_plan
+from repro.sim.kernel import kernel_names
 
 #: A zero-argument workload; its return value is discarded.
 Workload = Callable[[], object]
@@ -36,7 +38,9 @@ class BenchScenario:
     #: ``build(kernel)`` returns the callable to time on that kernel.
     build: Callable[[str], Workload]
     #: Kernels to measure; single-element for kernel-independent work.
-    kernels: Tuple[str, ...] = ("reference", "fast")
+    #: Defaults to every kernel registered at import time, so a newly
+    #: registered kernel is benchmarked everywhere automatically.
+    kernels: Tuple[str, ...] = tuple(kernel_names())
     #: Default timed repetitions / untimed warmup calls.
     repeats: int = 5
     warmup: int = 1
@@ -112,6 +116,60 @@ def _sweep_build(kernel: str) -> Workload:
         return engine.run_spec(spec)
 
     return workload
+
+
+#: Grid shape of the sweep-batch scenario: 4 x 4 x 4 = 64 cells,
+#: 4 trials each (so per-cell batches are real groups, not singletons).
+_SWEEP_BATCH_DISKS = [1, 2, 3, 4]
+_SWEEP_BATCH_DEPTHS = [2, 3, 4, 5]
+_SWEEP_BATCH_RUNS = [6, 8, 10, 12]
+_SWEEP_BATCH_TRIALS = 4
+_SWEEP_BATCH_BLOCKS = 40
+
+
+def _sweep_batch_build(kernel: str) -> Workload:
+    """Batched vs per-trial execution of a 64-cell uncached sweep.
+
+    Both variants run the identical campaign through the inline sweep
+    engine with no result store.  The ``fast`` variant executes one
+    worker call per trial; the ``batch`` variant groups each cell's
+    trials into a single :func:`repro.sweep.worker.execute_batch` call
+    that the flattened interpreter runs in one pass — the measured gap
+    is the batch tier's whole advantage (flat execution plus amortized
+    per-config setup and per-job dispatch).
+    """
+    from repro.sweep import NullProgress, SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        name="bench-sweep-batch",
+        base={
+            "strategy": "intra-run",
+            "blocks_per_run": _SWEEP_BATCH_BLOCKS,
+            "kernel": kernel,
+        },
+        grid={
+            "num_disks": _SWEEP_BATCH_DISKS,
+            "prefetch_depth": _SWEEP_BATCH_DEPTHS,
+            "num_runs": _SWEEP_BATCH_RUNS,
+        },
+        trials=_SWEEP_BATCH_TRIALS,
+        base_seed=1992,
+    )
+
+    def workload():
+        engine = SweepEngine(store=None, workers=1, progress=NullProgress())
+        return engine.run_spec(spec)
+
+    return workload
+
+
+_SWEEP_BATCH_EVENTS = (
+    len(_SWEEP_BATCH_DISKS)
+    * len(_SWEEP_BATCH_DEPTHS)
+    * sum(_SWEEP_BATCH_RUNS)
+    * _SWEEP_BATCH_BLOCKS
+    * _SWEEP_BATCH_TRIALS
+)
 
 
 #: Cache-hit requests per timed call of the serve-cache workload.
@@ -361,6 +419,16 @@ SCENARIOS: dict[str, BenchScenario] = {
             "(k=6, D in {1,2}, N in {2,4}, 60 blocks/run)",
             workload_events=4 * 6 * 60,
             build=_sweep_build,
+            repeats=3,
+        ),
+        BenchScenario(
+            name="sweep-batch",
+            description="uncached 64-cell, 4-trial sweep through the "
+            "inline sweep engine: per-trial jobs on the fast kernel vs "
+            "per-cell batches on the flattened batch kernel",
+            workload_events=_SWEEP_BATCH_EVENTS,
+            build=_sweep_batch_build,
+            kernels=("fast", "batch"),
             repeats=3,
         ),
         BenchScenario(

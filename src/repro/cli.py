@@ -24,7 +24,7 @@ from repro.core.parameters import (
     VictimSelector,
 )
 from repro.core.simulator import MergeSimulation
-from repro.sim.fast import kernel_names
+from repro.sim.kernel import kernel_names
 
 
 def _common_parser() -> argparse.ArgumentParser:
@@ -1301,6 +1301,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(render_comparison(rows))
+        from repro.bench import missing_baseline_variants
+
+        unbaselined = missing_baseline_variants(baseline, current)
+        if unbaselined:
+            print(f"note: no baseline for variant(s) "
+                  f"{', '.join(unbaselined)}; refresh the committed "
+                  f"baseline with `repro bench run` to start tracking "
+                  f"them", file=sys.stderr)
         regressed = regressions(rows)
         if regressed:
             print(f"\n{len(regressed)} variant(s) regressed beyond "

@@ -35,7 +35,7 @@ from repro.disks.request import BlockFetchRequest, FetchKind
 from repro.faults.injector import FaultInjector
 from repro.obs.events import EventKind
 from repro.sim.events import AllOf, AnyOf, Event
-from repro.sim.fast import create_kernel
+from repro.sim.kernel import create_kernel
 from repro.sim.random_streams import RandomStreams
 
 #: A depletion source yields the run to deplete next, given the list of

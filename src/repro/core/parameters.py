@@ -20,7 +20,7 @@ from typing import Optional
 from repro.disks.drive import QueueDiscipline
 from repro.disks.geometry import PAPER_GEOMETRY, DiskGeometry
 from repro.faults.plan import FaultPlan
-from repro.sim.fast import KERNELS
+from repro.sim.kernel import get_kernel
 
 
 @dataclass(frozen=True)
@@ -162,12 +162,16 @@ class SimulationConfig:
             resilience policy responding to it (see
             :mod:`repro.faults`).  ``None`` -- and an *empty* plan --
             reproduce the paper's perfectly reliable disks exactly.
-        kernel: which discrete-event kernel runs the trial --
-            ``"reference"`` (the readable baseline) or ``"fast"`` (the
-            optimized drop-in, see :mod:`repro.sim.fast`).  The two
-            produce bit-identical metrics, so the choice affects wall
-            time only; it is deliberately excluded from cache keys and
-            from :meth:`describe`.
+        kernel: which simulation kernel runs the trial.  Any name in
+            the :mod:`repro.sim.kernel` registry is accepted; the
+            built-ins are ``"reference"`` (the readable baseline),
+            ``"fast"`` (the optimized drop-in, see
+            :mod:`repro.sim.fast`), and ``"batch"`` (the flattened
+            whole-batch interpreter, see :mod:`repro.sim.batch`,
+            dispatched through :func:`repro.api.run_trials`).  Every
+            registered kernel produces bit-identical metrics, so the
+            choice affects wall time only; it is deliberately excluded
+            from cache keys and from :meth:`describe`.
     """
 
     num_runs: int
@@ -195,11 +199,9 @@ class SimulationConfig:
     kernel: str = "reference"
 
     def __post_init__(self) -> None:
-        if self.kernel not in KERNELS:
-            raise ValueError(
-                f"unknown simulation kernel {self.kernel!r}: "
-                f"choose one of {', '.join(sorted(KERNELS))}"
-            )
+        # Registry lookup raises the canonical "unknown simulation
+        # kernel ...: choose one of ..." ValueError for bad names.
+        get_kernel(self.kernel)
         if self.num_runs < 1:
             raise ValueError("num_runs must be >= 1")
         if self.num_disks < 1:

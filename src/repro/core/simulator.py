@@ -20,23 +20,20 @@ tracing — come from :mod:`repro.api`::
     with repro.api.configure(kernel="fast", trace=True) as ctx:
         result = MergeSimulation(config).run()
 
-The setters and context managers this module used to define
-(``set_simulation_backend``/``simulation_backend`` and friends) remain
-as deprecated shims that delegate to :class:`repro.api.RunContext`.
+Trial execution itself is delegated to :func:`repro.api.run_trials`;
+the methods here are thin wrappers that keep the historical signatures
+(new execution capabilities — batching, timeouts — land only on the
+batch API).
 """
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
-import warnings
 from typing import Callable, Iterator, Optional
 
 from repro import api
-from repro.core.merge_sim import MergeTrial
 from repro.core.metrics import AggregateMetrics, MergeMetrics
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
-from repro.faults.plan import FaultPlan
 
 #: Optional alternative executor for whole configurations.  When
 #: installed (``RunContext(backend=...)``), :meth:`MergeSimulation.run`
@@ -45,85 +42,6 @@ from repro.faults.plan import FaultPlan
 #: experiment code.  Backends must preserve the serial contract: trial
 #: ``t`` seeded ``base_seed + t``, trials aggregated in order.
 SimulationBackend = Callable[[SimulationConfig], AggregateMetrics]
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} (see docs/OBSERVABILITY.md "
-        "for the RunContext migration guide)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def set_simulation_backend(
-    backend: Optional[SimulationBackend],
-) -> Optional[SimulationBackend]:
-    """Deprecated shim for ``RunContext(backend=...)``.
-
-    Installs (or clears, with ``None``) the ambient backend and
-    returns the previous one.
-    """
-    _deprecated("set_simulation_backend", "repro.api.RunContext(backend=...)")
-    return api.set_option("backend", backend)
-
-
-@contextlib.contextmanager
-def simulation_backend(backend: Optional[SimulationBackend]):
-    """Deprecated shim: scoped backend via :class:`repro.api.RunContext`."""
-    _deprecated("simulation_backend", "repro.api.configure(backend=...)")
-    with api.RunContext(backend=backend):
-        yield backend
-
-
-def set_fault_plan_override(
-    plan: Optional[FaultPlan],
-) -> Optional[FaultPlan]:
-    """Deprecated shim for ``RunContext(fault_plan=...)``.
-
-    Installs (or clears, with ``None``) the ambient fault plan applied
-    to configs that do not carry one of their own.
-    """
-    _deprecated(
-        "set_fault_plan_override", "repro.api.RunContext(fault_plan=...)"
-    )
-    return api.set_option("fault_plan", plan)
-
-
-@contextlib.contextmanager
-def fault_plan_override(plan: Optional[FaultPlan]):
-    """Deprecated shim: scoped fault plan via :class:`repro.api.RunContext`.
-
-    Configs with an explicit ``fault_plan`` keep it; only plan-free
-    configs pick up the override.
-    """
-    _deprecated("fault_plan_override", "repro.api.configure(fault_plan=...)")
-    with api.RunContext(fault_plan=plan):
-        yield plan
-
-
-def set_kernel_override(kernel: Optional[str]) -> Optional[str]:
-    """Deprecated shim for ``RunContext(kernel=...)``.
-
-    Installs (or clears, with ``None``) the ambient kernel name.  Safe
-    by construction: both kernels produce bit-identical metrics.
-    """
-    _deprecated("set_kernel_override", "repro.api.RunContext(kernel=...)")
-    return api.set_option("kernel", kernel)
-
-
-@contextlib.contextmanager
-def kernel_override(kernel: Optional[str]):
-    """Deprecated shim: scoped kernel via :class:`repro.api.RunContext`.
-
-    Every config constructed into a :class:`MergeSimulation` inside the
-    scope runs on the named kernel, regardless of its own ``kernel``
-    field (the override is for operators choosing *how* to execute, not
-    *what* to simulate — and the kernels are result-equivalent).
-    """
-    _deprecated("kernel_override", "repro.api.configure(kernel=...)")
-    with api.RunContext(kernel=kernel):
-        yield kernel
 
 
 class MergeSimulation:
@@ -144,26 +62,35 @@ class MergeSimulation:
         trial: int = 0,
         depletion_source: Optional[Iterator[int]] = None,
     ) -> MergeMetrics:
-        """Run one trial; trial ``t`` is seeded ``base_seed + t``."""
-        return MergeTrial(
-            self.config,
-            seed=self.config.base_seed + trial,
-            depletion_source=depletion_source,
-        ).run()
+        """Run one trial; trial ``t`` is seeded ``base_seed + t``.
+
+        Thin wrapper over :func:`repro.api.run_trials` — a batch of
+        one.  Batch-only capabilities (per-trial timeouts, wholesale
+        batch-kernel dispatch) are reachable only through that API;
+        this signature is frozen.
+        """
+        return api.run_trials(
+            [self.config],
+            trials=[trial],
+            depletion_sources=[depletion_source],
+        )[0]
 
     def run(self) -> AggregateMetrics:
         """Run all trials and return aggregated metrics.
 
         Delegates to the ambient simulation backend, if any (see
-        ``repro.api.RunContext(backend=...)``); the serial in-process
-        loop is the default.
+        ``repro.api.RunContext(backend=...)``); otherwise the trials
+        run as one :func:`repro.api.run_trials` batch (so a ``batch``
+        kernel executes them through its batch runner) and aggregate
+        in trial order.
         """
         backend = api.current_backend()
         if backend is not None:
             return backend(self.config)
-        trials = [
-            self.run_trial(trial=t) for t in range(self.config.trials)
-        ]
+        count = self.config.trials
+        trials = api.run_trials(
+            [self.config] * count, trials=range(count)
+        )
         return AggregateMetrics(
             config_description=self.config.describe(),
             trials=trials,
@@ -184,8 +111,12 @@ def simulate_merge(
     :class:`~repro.core.parameters.SimulationConfig` from the arguments
     (extra keywords are forwarded verbatim) and calling
     ``MergeSimulation(config).run()`` — same ambient options, same
-    backend routing, same aggregation.  Use the class when you need to
-    keep the config around or run individual trials.
+    backend routing, same aggregation, same
+    :func:`repro.api.run_trials` execution underneath.  Use the class
+    when you need to keep the config around or run individual trials;
+    use ``run_trials`` directly for batch-only capabilities (timeouts,
+    batch-kernel dispatch, heterogeneous configs).  This signature is
+    frozen — it gains no new parameters.
     """
     config = SimulationConfig(
         num_runs=num_runs,

@@ -1,18 +1,19 @@
-"""RPR009: the pre-RunContext override setters are shims, not API.
+"""RPR009: the pre-RunContext override setters are retired, not API.
 
-``repro.core.simulator`` keeps six deprecated names alive for external
-callers — ``set_simulation_backend``/``simulation_backend``,
+``repro.core.simulator`` once kept six deprecated names alive as
+delegating shims — ``set_simulation_backend``/``simulation_backend``,
 ``set_fault_plan_override``/``fault_plan_override``, and
-``set_kernel_override``/``kernel_override`` — each a thin delegating
-wrapper that warns and forwards to :mod:`repro.api`.  In-repo code must
-use :class:`repro.api.RunContext` / :func:`repro.api.configure`
-directly: a shim call inside the repo hides the deprecation warning
-behind our own stack frames and keeps dead API load-bearing forever.
+``set_kernel_override``/``kernel_override``.  The shims have since been
+deleted: :class:`repro.api.RunContext` / :func:`repro.api.configure`
+are the only ambient-override surface.  This rule keeps the names dead
+*everywhere* — there is no shim module left to carve out, so a
+reference anywhere in the repo (including ``repro/core/simulator.py``
+itself) would be a regression reintroducing split ambient state.
 
-Flagged outside the configured shim module(s):
+Flagged in every linted module:
 
-* ``from repro.core.simulator import <deprecated name>`` (any alias);
-* attribute calls spelling a deprecated name, e.g.
+* ``from repro.core.simulator import <retired name>`` (any alias);
+* attribute calls spelling a retired name, e.g.
   ``simulator.kernel_override(...)``.
 """
 
@@ -22,20 +23,14 @@ import ast
 from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import (
-    ModuleInfo,
-    get_rule,
-    make_finding,
-    path_matches,
-    register,
-)
+from repro.lint.registry import ModuleInfo, get_rule, make_finding, register
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.config import LintConfig
 
 RULE_ID = "RPR009"
 
-#: The six shim names and the RunContext spelling that replaces each.
+#: The six retired names and the RunContext spelling replacing each.
 DEPRECATED_OVERRIDES: dict[str, str] = {
     "set_simulation_backend": "configure(backend=...)",
     "simulation_backend": "configure(backend=...)",
@@ -48,8 +43,8 @@ DEPRECATED_OVERRIDES: dict[str, str] = {
 
 def _message(name: str) -> str:
     return (
-        f"deprecated override shim {name}() must not be used inside the "
-        f"repo; use repro.api.{DEPRECATED_OVERRIDES[name]} instead"
+        f"retired override shim {name}() no longer exists; use "
+        f"repro.api.{DEPRECATED_OVERRIDES[name]} instead"
     )
 
 
@@ -58,17 +53,15 @@ def _message(name: str) -> str:
     name="deprecated-overrides",
     severity=Severity.ERROR,
     rationale=(
-        "The legacy per-option override setters survive only as "
-        "deprecated shims for external callers; in-repo use would keep "
-        "them load-bearing and silence their DeprecationWarning behind "
-        "our own frames."
+        "The legacy per-option override setters were removed in favour "
+        "of repro.api.RunContext; reintroducing any of them (or calling "
+        "one) would split ambient state across two surfaces again."
     ),
 )
 def check_deprecated_overrides(
     module: ModuleInfo, config: "LintConfig"
 ) -> Iterator[Finding]:
-    if path_matches(module.package_path, config.override_shim_allowed):
-        return
+    del config  # project-wide: the retired names are banned everywhere
     rule = get_rule(RULE_ID)
     for node in ast.walk(module.tree):
         if isinstance(node, ast.ImportFrom):

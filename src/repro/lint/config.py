@@ -63,6 +63,7 @@ class LintConfig:
     #: Modules whose classes must declare ``__slots__``.
     slots_modules: list[str] = field(default_factory=lambda: [
         "repro/sim/fast.py",
+        "repro/sim/batch.py",
     ])
 
     # -- RPR003 cache-key schema ---------------------------------------------
@@ -85,13 +86,6 @@ class LintConfig:
     broad_except_modules: list[str] = field(default_factory=lambda: [
         "repro/sweep", "repro/experiments/runner.py", "repro/faults",
         "repro/serve", "repro/dist",
-    ])
-
-    # -- RPR009 deprecated override shims ------------------------------------
-    #: The module(s) allowed to reference the legacy override setters
-    #: (the shims' own definitions live here).
-    override_shim_allowed: list[str] = field(default_factory=lambda: [
-        "repro/core/simulator.py",
     ])
 
     # -- RPR008 stdout discipline --------------------------------------------

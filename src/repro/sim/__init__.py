@@ -16,16 +16,25 @@ Public surface:
 * :class:`Store` -- an unbounded/bounded FIFO channel between processes.
 * :class:`Resource` -- a counting semaphore with FIFO queueing.
 * :class:`RandomStreams` -- named, independently seeded RNG streams.
+* :class:`KernelSpec`, :func:`register_kernel`,
+  :func:`available_kernels`, :func:`kernel_names`, :func:`get_kernel`,
+  :func:`create_kernel` -- the kernel registry every execution tier
+  (reference, fast, batch, plug-ins) is selected through.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.fast import (
-    KERNELS,
-    FastSimulator,
+from repro.sim.fast import FastSimulator
+from repro.sim.kernel import (
+    KernelSpec,
+    SimulationError,
+    Simulator,
+    available_kernels,
     create_kernel,
+    get_kernel,
     kernel_names,
+    register_kernel,
+    unregister_kernel,
 )
-from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import Process, ProcessFailure
 from repro.sim.random_streams import RandomStreams
 from repro.sim.resources import Resource, Store
@@ -35,7 +44,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "FastSimulator",
-    "KERNELS",
+    "KernelSpec",
     "Process",
     "ProcessFailure",
     "RandomStreams",
@@ -44,6 +53,10 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "available_kernels",
     "create_kernel",
+    "get_kernel",
     "kernel_names",
+    "register_kernel",
+    "unregister_kernel",
 ]

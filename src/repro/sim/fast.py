@@ -28,8 +28,10 @@ produce **bit-identical** :class:`~repro.core.metrics.MergeMetrics`.
 strategies, seeds, disk counts, and fault plans.
 
 Select a kernel with ``SimulationConfig(kernel="fast")`` (or
-``--kernel fast`` on the CLI); :func:`create_kernel` is the factory
-the merge simulation uses.
+``--kernel fast`` on the CLI); the kernel registry in
+:mod:`repro.sim.kernel` (:func:`~repro.sim.kernel.create_kernel`,
+:func:`~repro.sim.kernel.register_kernel`) is how the merge simulation
+finds this class.
 """
 
 from __future__ import annotations
@@ -208,29 +210,3 @@ class FastSimulator(Simulator):
         return self._now
 
 
-#: Kernel registry: the names accepted by ``SimulationConfig.kernel``.
-KERNELS: dict[str, type[Simulator]] = {
-    "reference": Simulator,
-    "fast": FastSimulator,
-}
-
-
-def kernel_names() -> list[str]:
-    """The registered kernel names, sorted."""
-    return sorted(KERNELS)
-
-
-def create_kernel(name: str) -> Simulator:
-    """Instantiate the kernel registered under ``name``.
-
-    Raises:
-        ValueError: for unregistered names, listing the valid choices.
-    """
-    try:
-        kernel_cls = KERNELS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown simulation kernel {name!r}: "
-            f"choose one of {', '.join(kernel_names())}"
-        ) from None
-    return kernel_cls()

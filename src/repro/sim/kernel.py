@@ -13,11 +13,18 @@ streams produce identical trajectories.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.metrics import MergeMetrics
+    from repro.core.parameters import SimulationConfig
     from repro.sim.events import Event, Timeout
     from repro.sim.process import Process
+
+    #: A batch runner executes many seeded trials of one configuration
+    #: and returns their metrics in seed order.
+    BatchRunner = Callable[..., "list[MergeMetrics]"]
 
 
 class SimulationError(RuntimeError):
@@ -114,3 +121,155 @@ class Simulator:
                 break
             self.step()
         return self._now
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered execution kernel.
+
+    Attributes:
+        name: the identifier accepted by ``SimulationConfig.kernel``
+            and the CLI ``--kernel`` flag.
+        factory: zero-argument callable returning a fresh
+            :class:`Simulator` (or drop-in subclass) for one trial.
+            Factories are deliberately lazy callables so registering a
+            kernel never imports its implementation module — that keeps
+            this registry import-light and cycle-free.
+        description: one-line summary shown by ``repro bench list`` and
+            the docs.
+        batch_runner: optional zero-argument loader returning a *batch
+            runner* — ``runner(config, seeds, ...) ->
+            list[MergeMetrics]`` executing many seeded trials of one
+            configuration at once.  ``repro.api.run_trials`` routes
+            whole trial batches through it when present; kernels
+            without one run trial-at-a-time through ``factory``.
+    """
+
+    name: str
+    factory: Callable[[], "Simulator"]
+    description: str = ""
+    batch_runner: Optional[Callable[[], "BatchRunner"]] = None
+
+
+#: The process-wide kernel registry, keyed by spec name.
+_REGISTRY: dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec, *, replace: bool = False) -> KernelSpec:
+    """Register ``spec``; returns it for chaining.
+
+    Raises:
+        ValueError: when ``spec.name`` is already registered and
+            ``replace`` is False, or the name is empty.
+    """
+    if not spec.name:
+        raise ValueError("kernel name must be non-empty")
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"kernel {spec.name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_kernel(name: str) -> KernelSpec:
+    """Remove and return a registered spec (mainly for test teardown).
+
+    Raises:
+        ValueError: for unregistered names.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ValueError(f"kernel {name!r} is not registered") from None
+
+
+def available_kernels() -> Sequence[KernelSpec]:
+    """Every registered kernel spec, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def kernel_names() -> list[str]:
+    """The registered kernel names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up the spec registered under ``name``.
+
+    Raises:
+        ValueError: for unregistered names, listing the valid choices.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation kernel {name!r}: "
+            f"choose one of {', '.join(kernel_names())}"
+        ) from None
+
+
+def create_kernel(name: str) -> "Simulator":
+    """Instantiate the kernel registered under ``name``.
+
+    Raises:
+        ValueError: for unregistered names, listing the valid choices.
+    """
+    return get_kernel(name).factory()
+
+
+# -- built-in kernels ---------------------------------------------------
+#
+# The fast and batch tiers are registered with lazy factories: looking
+# them up (config validation, CLI choices) never imports their modules,
+# which would otherwise cycle through repro.core.
+
+
+def _fast_factory() -> "Simulator":
+    from repro.sim.fast import FastSimulator
+
+    return FastSimulator()
+
+
+def _load_batch_runner() -> "BatchRunner":
+    from repro.sim.batch import run_trial_batch
+
+    return run_trial_batch
+
+
+register_kernel(
+    KernelSpec(
+        name="reference",
+        factory=Simulator,
+        description=(
+            "the readable baseline: binary-heap event loop, generator "
+            "processes (the bit-identity oracle)"
+        ),
+    )
+)
+register_kernel(
+    KernelSpec(
+        name="fast",
+        factory=_fast_factory,
+        description=(
+            "allocation-lean drop-in kernel: inlined dispatch, pooled "
+            "timeouts; bit-identical to reference"
+        ),
+    )
+)
+register_kernel(
+    KernelSpec(
+        name="batch",
+        factory=_fast_factory,
+        description=(
+            "batched trial tier: flattened lockstep interpreter for "
+            "whole trial batches (repro.api.run_trials); single trials "
+            "and unsupported configs fall back to the fast kernel"
+        ),
+        batch_runner=_load_batch_runner,
+    )
+)

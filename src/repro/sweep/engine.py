@@ -37,9 +37,10 @@ from repro.sweep.progress import (
     ProgressListener,
     SweepStats,
 )
+from repro.sim.kernel import get_kernel
 from repro.sweep.spec import SweepJob, SweepSpec, jobs_for_config
 from repro.sweep.store import CampaignManifest, ResultStore
-from repro.sweep.worker import execute_job
+from repro.sweep.worker import execute_batch, execute_job
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,14 @@ class SweepResult:
                 for failure in data["failures"]
             ],
         )
+
+
+def _batchable(config: SimulationConfig) -> bool:
+    """Does ``config``'s kernel execute whole trial groups at once?"""
+    try:
+        return get_kernel(config.kernel).batch_runner is not None
+    except ValueError:  # unregistered kernel: let the per-job path report it
+        return False
 
 
 class SweepEngine:
@@ -271,18 +280,53 @@ class SweepEngine:
         }
 
     def _run_inline(self, pending, complete, fail, stats: SweepStats) -> None:
-        for job in pending:
-            attempts = 0
-            while True:
-                attempts += 1
+        for group in self._cell_groups(pending):
+            if len(group) > 1 and _batchable(group[0].config):
+                # One worker call per cell: a batch-capable kernel runs
+                # the whole trial group through its flattened runner.
                 try:
-                    complete(job, execute_job(self._payload(job)))
-                    break
-                except Exception as exc:
-                    if attempts > self.retries:
-                        fail(job, attempts, exc)
-                        break
+                    payload = {
+                        "config": config_to_dict(group[0].config),
+                        "trials": [job.trial for job in group],
+                        "timeout_s": self.timeout_s,
+                    }
+                    batch_results = execute_batch(payload)
+                except Exception:
+                    # Whatever failed (a timeout aborts the whole batch
+                    # call), the per-job path retries each trial with
+                    # its full budget and attributes failures precisely.
                     stats.retries += 1
+                else:
+                    for job, result in zip(group, batch_results):
+                        complete(job, result)
+                    continue
+            for job in group:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        complete(job, execute_job(self._payload(job)))
+                        break
+                    except Exception as exc:
+                        if attempts > self.retries:
+                            fail(job, attempts, exc)
+                            break
+                        stats.retries += 1
+
+    @staticmethod
+    def _cell_groups(pending: list[SweepJob]) -> list[list[SweepJob]]:
+        """Split ``pending`` into runs of jobs sharing a grid cell.
+
+        Pending jobs arrive in expansion order, so one cell's uncached
+        trials are always adjacent; cache hits merely shrink a group.
+        """
+        groups: list[list[SweepJob]] = []
+        for job in pending:
+            if groups and groups[-1][0].cell == job.cell:
+                groups[-1].append(job)
+            else:
+                groups.append([job])
+        return groups
 
     def _run_pooled(self, pending, complete, fail, stats: SweepStats) -> None:
         attempts: dict[int, int] = {job.index: 0 for job in pending}

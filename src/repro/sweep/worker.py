@@ -2,36 +2,38 @@
 
 ``execute_job`` is a module-level function (so it pickles cleanly into a
 ``ProcessPoolExecutor``) that rebuilds the configuration from its
-serialized form, runs exactly one seeded trial, and hands the metrics
-back as a JSON-able dict.  The per-job timeout is enforced *inside* the
-worker with ``SIGALRM`` — the pool process stays alive and reusable, and
-the parent sees an ordinary :class:`JobTimeoutError` it can retry or
-record without tearing the pool down.
+serialized form, runs exactly one seeded trial through
+:func:`repro.api.run_trials`, and hands the metrics back as a JSON-able
+dict.  ``execute_batch`` is its many-trials sibling: one config, many
+trial indices, one ``run_trials`` call — which lets a ``batch`` kernel
+execute the whole group through its flattened batch runner.
 
-``SIGALRM`` is POSIX-only.  Where it is missing (Windows, some
-embedded interpreters) jobs run without a wall-clock guard and the
-result records ``timeout_enforced: false`` so callers can tell a
-completed-in-time job from an unguarded one.
+Timeout enforcement lives in ``repro.api.run_trials`` (per-trial
+``SIGALRM``, re-armed on an interval): the pool process stays alive and
+reusable, and the parent sees an ordinary :class:`JobTimeoutError` it
+can retry or record without tearing the pool down.
+
+``SIGALRM`` is POSIX-only and main-thread-only.  Where it is
+unenforceable (Windows, worker threads) jobs run without a wall-clock
+guard and the result records ``timeout_enforced: false`` so callers can
+tell a completed-in-time job from an unguarded one.
 """
 
 from __future__ import annotations
 
-import signal
 import time
 from typing import Optional
 
+from repro import api
 from repro.sweep.keys import config_from_dict
 
 #: Whether this platform can enforce per-job timeouts at all.
-HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+#: (Re-exported from repro.api for backwards compatibility.)
+HAVE_SIGALRM = api.HAVE_SIGALRM
 
 
 class JobTimeoutError(RuntimeError):
     """A job exceeded its per-job wall-clock budget."""
-
-
-def _alarm_handler(signum, frame):  # pragma: no cover - fires mid-simulation
-    raise JobTimeoutError("job exceeded its timeout")
 
 
 def execute_job(payload: dict) -> dict:
@@ -41,29 +43,61 @@ def execute_job(payload: dict) -> dict:
     :func:`repro.sweep.keys.config_to_dict`), ``trial`` (int), and
     optionally ``timeout_s``.  Returns ``{"metrics": ..., "elapsed_s": ...}``.
     """
-    from repro.core.simulator import MergeSimulation
-
     config = config_from_dict(payload["config"])
     trial = payload["trial"]
     timeout_s: Optional[float] = payload.get("timeout_s")
 
-    enforce = bool(timeout_s) and HAVE_SIGALRM
     start = time.perf_counter()
-    previous_handler = None
-    if enforce:
-        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-        # Re-arm on an interval: a one-shot alarm can be lost when the
-        # delivery lands inside a context that swallows the raise (GC
-        # callbacks, C extensions), which would silently drop the guard.
-        signal.setitimer(signal.ITIMER_REAL, timeout_s, timeout_s)
     try:
-        metrics = MergeSimulation(config).run_trial(trial=trial)
-    finally:
-        if enforce:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous_handler)
+        metrics = api.run_trials(
+            [config], trials=[trial], timeout_s=timeout_s
+        )[0]
+    except api.TrialTimeoutError as exc:
+        raise JobTimeoutError(str(exc)) from None
     return {
         "metrics": metrics.to_dict(),
         "elapsed_s": time.perf_counter() - start,
-        "timeout_enforced": enforce or not timeout_s,
+        "timeout_enforced": _timeout_enforced(timeout_s),
     }
+
+
+def execute_batch(payload: dict) -> list[dict]:
+    """Run many trials of one config; returns one result dict per trial.
+
+    Payload keys: ``config`` (dict), ``trials`` (list of ints), and
+    optionally ``timeout_s`` (per-trial budget).  The trials execute as
+    a single :func:`repro.api.run_trials` batch — a ``batch`` kernel
+    runs them through its flattened batch runner — and results come
+    back in ``trials`` order, shaped exactly like :func:`execute_job`
+    results.  ``elapsed_s`` is the batch wall-clock split evenly across
+    the trials (individual trials are not timed inside a batch).
+    """
+    config = config_from_dict(payload["config"])
+    trials: list[int] = list(payload["trials"])
+    timeout_s: Optional[float] = payload.get("timeout_s")
+
+    start = time.perf_counter()
+    try:
+        metrics = api.run_trials(
+            [config] * len(trials), trials=trials, timeout_s=timeout_s
+        )
+    except api.TrialTimeoutError as exc:
+        raise JobTimeoutError(str(exc)) from None
+    elapsed = time.perf_counter() - start
+    share = elapsed / len(trials) if trials else 0.0
+    enforced = _timeout_enforced(timeout_s)
+    return [
+        {
+            "metrics": m.to_dict(),
+            "elapsed_s": share,
+            "timeout_enforced": enforced,
+        }
+        for m in metrics
+    ]
+
+
+def _timeout_enforced(timeout_s: Optional[float]) -> bool:
+    """Was the requested budget actually guarded (or none requested)?"""
+    if not timeout_s:
+        return True
+    return api.timeouts_enforceable()

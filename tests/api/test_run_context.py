@@ -2,10 +2,8 @@
 
 One context manager composes the four ambient options (backend,
 fault_plan, kernel, trace); the old per-option setters and context
-managers survive only as deprecated shims in repro.core.simulator.
+managers in repro.core.simulator have been removed.
 """
-
-import warnings
 
 import pytest
 
@@ -155,38 +153,21 @@ def test_explicit_fault_plan_wins_over_ambient():
     assert simulation.config.fault_plan is pinned.fault_plan
 
 
-# ------------------------------------------------------ deprecated shims
+# -------------------------------------------------- retired shims stay gone
 
 
-def test_deprecated_shims_still_work():
+def test_override_shims_are_retired():
+    # The deprecated per-option setters/context managers were removed
+    # once RunContext/configure became the only ambient surface.  Keep
+    # them gone: a reappearance would split ambient state again.
     from repro.core import simulator
 
-    with pytest.deprecated_call():
-        simulator.set_kernel_override("fast")
-    assert api.current_kernel() == "fast"
-    with pytest.deprecated_call():
-        simulator.set_kernel_override(None)
-    assert api.current_kernel() is None
-
-    with pytest.deprecated_call():
-        with simulator.kernel_override("fast"):
-            assert api.current_kernel() == "fast"
-    assert api.current_kernel() is None
-
-    plan = FaultPlan()
-    with pytest.deprecated_call():
-        with simulator.fault_plan_override(plan):
-            assert api.current_fault_plan() is plan
-    assert api.current_fault_plan() is None
-
-
-def test_deprecation_message_names_replacement():
-    from repro.core import simulator
-
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        simulator.set_fault_plan_override(None)
-    assert len(caught) == 1
-    message = str(caught[0].message)
-    assert "repro.api" in message
-    assert "OBSERVABILITY.md" in message
+    for name in (
+        "set_kernel_override",
+        "kernel_override",
+        "set_backend_override",
+        "backend_override",
+        "set_fault_plan_override",
+        "fault_plan_override",
+    ):
+        assert not hasattr(simulator, name), name

@@ -28,7 +28,9 @@ def test_bench_run_writes_valid_report(tmp_path, capsys):
     assert path.exists()
     data = json.loads(path.read_text())
     assert validate_report(data) == []
-    assert set(data["variants"]) == {"reference", "fast"}
+    # smoke-d2 inherits the registry default, so every registered
+    # kernel gets a variant.
+    assert set(data["variants"]) == {"reference", "fast", "batch"}
     assert "speedup" in capsys.readouterr().out
 
 
@@ -75,6 +77,35 @@ def test_bench_compare_detects_regression(tmp_path, capsys):
     ])
     assert code == 1
     assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_bench_compare_notes_untracked_variants(tmp_path, capsys):
+    """A kernel with no committed baseline variant is noted on stderr,
+    not raised: stale baselines must not block newly registered
+    kernels."""
+    main([
+        "bench", "run",
+        "--scenario", "smoke-d2",
+        "--repeats", "1",
+        "--warmup", "0",
+        "--out-dir", str(tmp_path),
+    ])
+    capsys.readouterr()
+    current_path = tmp_path / "BENCH_smoke-d2.json"
+    stale = json.loads(current_path.read_text())
+    del stale["variants"]["batch"]
+    stale["speedup"] = None
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(stale))
+    code = main([
+        "bench", "compare", str(baseline_path), str(current_path),
+        "--threshold", "0.5",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "no regressions" in captured.out
+    assert "no baseline for variant(s) batch" in captured.err
+    assert "repro bench run" in captured.err
 
 
 def test_bench_compare_missing_baseline_names_the_fix(tmp_path, capsys):

@@ -6,6 +6,7 @@ from repro.bench import (
     BenchReport,
     VariantResult,
     compare_reports,
+    missing_baseline_variants,
     regressions,
     render_comparison,
 )
@@ -80,6 +81,19 @@ def test_dropped_variant_rejected():
     current = _report("s", {"reference": 1e6})
     with pytest.raises(ValueError, match="missing variant 'fast'"):
         compare_reports(baseline, current)
+
+
+def test_new_variant_compares_shared_and_reports_the_rest():
+    """A kernel registered after the baseline was committed must not
+    break the comparison: shared variants get verdicts, the new one is
+    listed for a baseline refresh."""
+    baseline = _report("s", {"reference": 1e6, "fast": 5e5})
+    current = _report("s", {"reference": 1e6, "fast": 5e5, "batch": 2e5})
+    rows = compare_reports(baseline, current, threshold=0.25)
+    assert sorted(row.kernel for row in rows) == ["fast", "reference"]
+    assert regressions(rows) == []
+    assert missing_baseline_variants(baseline, current) == ["batch"]
+    assert missing_baseline_variants(baseline, baseline) == []
 
 
 def test_bad_threshold_rejected():

@@ -1,15 +1,19 @@
-"""Cross-validation: the fast kernel is bit-identical to the reference.
+"""Cross-validation: every registered kernel is bit-identical to the reference.
 
-This is the contract that makes ``kernel="fast"`` safe everywhere —
+This is the contract that makes the ``kernel`` axis safe everywhere —
 experiments, sweeps (shared cache entries!), fault studies: for any
-configuration and seed, both kernels produce byte-for-byte equal
-``MergeMetrics.to_dict()`` output.
+configuration and seed, every kernel in the :mod:`repro.sim.kernel`
+registry produces byte-for-byte equal ``MergeMetrics.to_dict()``
+output.  The ``batch`` kernel additionally proves its flattened
+group-execution path (`repro.api.run_trials` routes whole trial groups
+through :func:`repro.sim.batch.run_trial_batch`) against the same bar.
 """
 
 import dataclasses
 
 import pytest
 
+from repro import api
 from repro.api import configure
 from repro.core.parameters import PrefetchStrategy, SimulationConfig
 from repro.core.simulator import MergeSimulation
@@ -23,9 +27,12 @@ def _trial_dict(config: SimulationConfig, kernel: str, trial: int = 0) -> dict:
     return MergeSimulation(config).run_trial(trial=trial).to_dict()
 
 
+#: Every registered kernel that is *not* the baseline itself.
+NON_REFERENCE = [name for name in kernel_names() if name != "reference"]
+
 #: A deliberately diverse configuration matrix: every strategy family,
 #: single and multi disk, sync and async, SSTF scheduling, CPU cost,
-#: and both fault flavours.
+#: streamed sequential requests, and both fault flavours.
 MATRIX = [
     SimulationConfig(num_runs=6, num_disks=1, blocks_per_run=40),
     SimulationConfig(
@@ -60,6 +67,14 @@ MATRIX = [
         queue_discipline=QueueDiscipline.SSTF,
     ),
     SimulationConfig(
+        num_runs=8,
+        num_disks=4,
+        strategy=PrefetchStrategy.INTRA_RUN,
+        prefetch_depth=5,
+        blocks_per_run=40,
+        stream_across_requests=True,
+    ),
+    SimulationConfig(
         num_runs=10,
         num_disks=5,
         strategy=PrefetchStrategy.INTER_RUN,
@@ -78,16 +93,16 @@ MATRIX = [
 ]
 
 
+@pytest.mark.parametrize("kernel", NON_REFERENCE)
 @pytest.mark.parametrize("config", MATRIX, ids=lambda c: c.describe())
 @pytest.mark.parametrize("seed", [1, 1992])
-def test_fast_kernel_bit_identical(config, seed):
+def test_kernel_bit_identical(config, kernel, seed):
     config = dataclasses.replace(config, base_seed=seed)
-    reference = _trial_dict(config, "reference")
-    fast = _trial_dict(config, "fast")
-    assert fast == reference
+    assert _trial_dict(config, kernel) == _trial_dict(config, "reference")
 
 
-def test_fast_kernel_identical_across_trials():
+@pytest.mark.parametrize("kernel", NON_REFERENCE)
+def test_kernel_identical_across_trials(kernel):
     config = SimulationConfig(
         num_runs=8,
         num_disks=3,
@@ -97,9 +112,19 @@ def test_fast_kernel_identical_across_trials():
         trials=3,
     )
     for trial in range(config.trials):
-        assert _trial_dict(config, "fast", trial) == _trial_dict(
+        assert _trial_dict(config, kernel, trial) == _trial_dict(
             config, "reference", trial
         )
+
+
+@pytest.mark.parametrize("config", MATRIX, ids=lambda c: c.describe())
+def test_batch_group_execution_bit_identical(config):
+    """Whole-group batch dispatch matches per-trial reference runs."""
+    batch_config = dataclasses.replace(config, kernel="batch")
+    trials = [0, 1, 2]
+    grouped = api.run_trials([batch_config] * len(trials), trials=trials)
+    for trial, metrics in zip(trials, grouped):
+        assert metrics.to_dict() == _trial_dict(config, "reference", trial)
 
 
 def test_unknown_kernel_rejected_by_config():
@@ -108,13 +133,16 @@ def test_unknown_kernel_rejected_by_config():
 
 
 def test_unknown_kernel_rejected_by_factory():
-    with pytest.raises(ValueError, match="choose one of fast, reference"):
+    with pytest.raises(ValueError, match="choose one of batch, fast, reference"):
         create_kernel("turbo")
 
 
 def test_kernel_registry():
-    assert kernel_names() == ["fast", "reference"]
+    assert kernel_names() == ["batch", "fast", "reference"]
     assert isinstance(create_kernel("fast"), FastSimulator)
+    # The batch tier's per-trial factory is the fast simulator; its
+    # batched entry is the flattened runner (see repro.sim.batch).
+    assert isinstance(create_kernel("batch"), FastSimulator)
     assert type(create_kernel("reference")) is Simulator
 
 

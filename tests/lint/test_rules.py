@@ -178,7 +178,6 @@ OUT_OF_SCOPE_CASES = [
     ("RPR002", "rpr002_slots.py", "src/repro/sim/engine.py"),
     ("RPR005", "rpr005_ordering.py", "src/repro/sweep/lint_fixture.py"),
     ("RPR008", "rpr008_print.py", "src/repro/cli.py"),
-    ("RPR009", "rpr009_overrides.py", "src/repro/core/simulator.py"),
 ]
 
 
@@ -189,6 +188,17 @@ OUT_OF_SCOPE_CASES = [
 )
 def test_scoped_rule_is_silent_outside_its_modules(rule_id, fixture, relpath):
     assert run_rule(rule_id, load_fixture(fixture, relpath)) == []
+
+
+def test_retired_overrides_flagged_even_in_the_old_shim_module():
+    # The shims were deleted from repro.core.simulator, and with them
+    # the carve-out: RPR009 now fires everywhere, shim module included.
+    module = load_fixture(
+        "rpr009_overrides.py", "src/repro/core/simulator.py"
+    )
+    findings = run_rule("RPR009", module)
+    assert findings, "RPR009 must fire inside repro/core/simulator.py too"
+    assert all("retired override shim" in f.message for f in findings)
 
 
 def test_broad_except_needs_retry_scope_but_bare_except_does_not():

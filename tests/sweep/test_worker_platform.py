@@ -1,5 +1,12 @@
-"""Platform guard: job execution where SIGALRM is unavailable."""
+"""Platform guard: job execution where SIGALRM is unavailable.
 
+The SIGALRM machinery lives in :mod:`repro.api` (``run_trials`` owns
+timeout enforcement); the sweep worker only reports whether the budget
+it requested was actually guarded.  These tests therefore patch the
+``repro.api`` module, not the worker.
+"""
+
+from repro import api
 from repro.sweep import worker as worker_module
 from repro.sweep.keys import config_to_dict
 from repro.core.parameters import SimulationConfig
@@ -14,20 +21,21 @@ def _payload(timeout_s=None) -> dict:
 
 
 def test_timeout_enforced_on_posix():
-    assert worker_module.HAVE_SIGALRM  # the CI/dev platforms are POSIX
+    assert api.HAVE_SIGALRM  # the CI/dev platforms are POSIX
+    assert worker_module.HAVE_SIGALRM  # re-export stays in sync
     result = worker_module.execute_job(_payload(timeout_s=60.0))
     assert result["timeout_enforced"] is True
     assert result["metrics"]["blocks_depleted"] == 60
 
 
 def test_without_sigalrm_job_runs_unguarded(monkeypatch):
-    monkeypatch.setattr(worker_module, "HAVE_SIGALRM", False)
+    monkeypatch.setattr(api, "HAVE_SIGALRM", False)
 
     def explode(*args, **kwargs):  # pragma: no cover - failure branch
         raise AssertionError("signal API used despite missing SIGALRM")
 
-    monkeypatch.setattr(worker_module.signal, "signal", explode)
-    monkeypatch.setattr(worker_module.signal, "setitimer", explode)
+    monkeypatch.setattr(api.signal, "signal", explode)
+    monkeypatch.setattr(api.signal, "setitimer", explode)
     result = worker_module.execute_job(_payload(timeout_s=0.001))
     # The job completes (no timeout enforced) and says so.
     assert result["timeout_enforced"] is False
@@ -36,6 +44,17 @@ def test_without_sigalrm_job_runs_unguarded(monkeypatch):
 
 def test_no_timeout_requested_reports_enforced(monkeypatch):
     # Nothing to enforce: the flag must not read as "unguarded".
-    monkeypatch.setattr(worker_module, "HAVE_SIGALRM", False)
+    monkeypatch.setattr(api, "HAVE_SIGALRM", False)
     result = worker_module.execute_job(_payload())
     assert result["timeout_enforced"] is True
+
+
+def test_batch_results_report_enforcement(monkeypatch):
+    monkeypatch.setattr(api, "HAVE_SIGALRM", False)
+    payload = _payload(timeout_s=0.001)
+    payload["trials"] = [0, 1]
+    del payload["trial"]
+    results = worker_module.execute_batch(payload)
+    assert len(results) == 2
+    assert all(r["timeout_enforced"] is False for r in results)
+    assert all(r["metrics"]["blocks_depleted"] == 60 for r in results)
